@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark file regenerates one of the paper's tables/figures
+(quick sweeps by default — set REPRO_BENCH_FULL=1 for the full axes),
+times the regeneration with pytest-benchmark, prints the reproduced
+table, and asserts the *shape* claims the paper makes about it.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def quick() -> bool:
+    return os.environ.get("REPRO_BENCH_FULL", "") != "1"
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    Simulation experiments are deterministic, so repeated rounds would
+    only re-measure wall-clock noise of identical work.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

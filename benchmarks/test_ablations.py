@@ -1,0 +1,84 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out."""
+
+from benchmarks.conftest import run_once
+from repro.bench.harness import run_experiment
+
+
+def test_ablation_eager_threshold(benchmark, quick):
+    result = run_once(
+        benchmark,
+        lambda: run_experiment("ablation-threshold", quick=quick),
+    )
+    print()
+    print(result.render())
+    sizes = result.column("bytes")
+    low = result.column("thr=4096")
+    high = result.column("thr=16384")
+    # Between the two thresholds (e.g. 8KB messages), the smaller
+    # threshold has already switched to rendezvous, paying its
+    # synchronization: the larger threshold's eager path is faster
+    # at small-but-not-tiny sizes.
+    mid = sizes.index(8192)
+    assert high[mid] != low[mid]
+
+
+def test_ablation_interrupt_coalescing(benchmark, quick):
+    result = run_once(
+        benchmark,
+        lambda: run_experiment("ablation-coalescing", quick=quick),
+    )
+    print()
+    print(result.render())
+    delays = result.column("delay us")
+    latency = result.column("RTT/2 us")
+    # Latency strictly grows with the coalescing delay: the tuning
+    # knob trades latency for interrupt amortization.
+    assert latency == sorted(latency)
+    assert latency[-1] - latency[0] > 0.5 * (delays[-1] - delays[0])
+
+
+def test_ablation_tokens(benchmark, quick):
+    result = run_once(
+        benchmark,
+        lambda: run_experiment("ablation-tokens", quick=quick),
+    )
+    print()
+    print(result.render())
+    tokens = result.column("tokens")
+    stream = result.column("stream MB/s")
+    # Starving the channel of tokens stalls the eager pipeline.
+    assert stream[-1] > stream[0]
+
+
+def test_ablation_recv_copy(benchmark, quick):
+    result = run_once(
+        benchmark,
+        lambda: run_experiment("ablation-overhead", quick=quick),
+    )
+    print()
+    print(result.render())
+    variants = result.column("variant")
+    latency = result.column("RTT/2 us")
+    aggregate = result.column("3-D agg MB/s")
+    base = variants.index("baseline")
+    nocopy = variants.index("no recv copy")
+    # Removing M-VIA's receive copy (the paper's future work) never
+    # hurts latency and buys real 6-link aggregated bandwidth.
+    assert latency[nocopy] <= latency[base] + 0.01
+    assert aggregate[nocopy] > aggregate[base]
+
+
+def test_ablation_checksum(benchmark, quick):
+    result = run_once(
+        benchmark,
+        lambda: run_experiment("ablation-checksum", quick=quick),
+    )
+    print()
+    print(result.render())
+    variants = result.column("checksum")
+    bandwidth = result.column("simul MB/s")
+    hw = variants.index("hardware")
+    sw = variants.index("software")
+    # Hardware checksum 'without degrading performance' (section 4):
+    # software checksum costs real bandwidth.
+    assert bandwidth[hw] > bandwidth[sw]

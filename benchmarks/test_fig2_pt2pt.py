@@ -1,0 +1,37 @@
+"""Figure 2: M-VIA vs TCP point-to-point latency and bandwidth."""
+
+import math
+
+from benchmarks.conftest import run_once
+from repro.bench.harness import run_experiment
+
+
+def test_fig2_pt2pt(benchmark, quick):
+    result = run_once(benchmark,
+                      lambda: run_experiment("fig2", quick=quick))
+    print()
+    print(result.render())
+    sizes = result.column("bytes")
+    via_lat = result.column("via RTT/2 us")
+    tcp_lat = result.column("tcp RTT/2 us")
+    via_simul = result.column("via simul MB/s")
+    tcp_simul = result.column("tcp simul MB/s")
+    via_pp = result.column("via pp MB/s")
+    tcp_pp = result.column("tcp pp MB/s")
+
+    # Small-message latency anchors.
+    small = sizes.index(4)
+    assert abs(via_lat[small] - 18.5) < 0.6
+    assert tcp_lat[small] >= 1.3 * via_lat[small]
+
+    # M-VIA beats TCP at every size, on every metric.
+    for index in range(len(sizes)):
+        if not math.isnan(via_lat[index]):
+            assert via_lat[index] < tcp_lat[index]
+        assert via_simul[index] > tcp_simul[index]
+        if via_pp[index] > 0:
+            assert via_pp[index] > tcp_pp[index]
+
+    # Large-message simultaneous bandwidth: ~110 vs ~80 (37% gap).
+    assert abs(via_simul[-1] - 110.0) < 5.0
+    assert 1.2 < via_simul[-1] / tcp_simul[-1] < 1.55

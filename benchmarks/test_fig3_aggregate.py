@@ -1,0 +1,29 @@
+"""Figure 3: aggregated multi-link bandwidth, 2-D vs 3-D mesh."""
+
+from benchmarks.conftest import run_once
+from repro.bench.harness import run_experiment
+
+
+def test_fig3_aggregate(benchmark, quick):
+    result = run_once(benchmark,
+                      lambda: run_experiment("fig3", quick=quick))
+    print()
+    print(result.render())
+    via2 = result.column("via 2-D")
+    via3 = result.column("via 3-D")
+    tcp2 = result.column("tcp 2-D")
+    tcp3 = result.column("tcp 3-D")
+
+    # M-VIA far above TCP on every row.
+    for index in range(len(via2)):
+        assert via2[index] > 1.5 * tcp2[index]
+        assert via3[index] > 1.5 * tcp3[index]
+
+    # 2-D flattens around ~400 MB/s at large sizes.
+    assert 380 <= via2[-1] <= 480
+
+    # 3-D exceeds the 2-D plateau somewhere mid-size (the ~550 peak)
+    # and ends at or below its own peak (the large-size falloff).
+    assert max(via3) > max(via2)
+    assert via3[-1] <= max(via3)
+    assert 380 <= via3[-1] <= 560

@@ -1,0 +1,35 @@
+"""Figure 4: MPI/QMP point-to-point latency and aggregated bandwidth."""
+
+import math
+
+from benchmarks.conftest import run_once
+from repro.bench.harness import run_experiment
+
+
+def test_fig4_mpiqmp(benchmark, quick):
+    result = run_once(benchmark,
+                      lambda: run_experiment("fig4", quick=quick))
+    print()
+    print(result.render())
+    sizes = result.column("bytes")
+    latencies = result.column("RTT/2 us")
+    agg3 = result.column("3-D agg MB/s")
+
+    # Small-message MPI/QMP latency ~18.5us (small implementation
+    # overhead over raw M-VIA).
+    small = sizes.index(4)
+    assert abs(latencies[small] - 18.5) < 1.5
+
+    # The eager -> RMA switch shows as a bandwidth jump at 16K:
+    # compare the last eager-path row (<16K) to the first RMA row.
+    rows = [
+        (size, bandwidth)
+        for size, bandwidth in zip(sizes, agg3)
+        if not math.isnan(bandwidth)
+    ]
+    below = [bandwidth for size, bandwidth in rows if size < 16384]
+    above = [bandwidth for size, bandwidth in rows if size >= 16384]
+    assert above[0] > 1.3 * below[-1]
+
+    # 3-D aggregated bandwidth reaches the paper's ~400 MB/s scale.
+    assert max(above) > 350

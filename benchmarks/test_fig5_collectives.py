@@ -1,0 +1,27 @@
+"""Figure 5: broadcast and global sum on the torus."""
+
+from benchmarks.conftest import run_once
+from repro.bench.harness import run_experiment
+
+
+def test_fig5_collectives(benchmark, quick):
+    result = run_once(benchmark,
+                      lambda: run_experiment("fig5", quick=quick))
+    print()
+    print(result.render())
+    sizes = result.column("bytes")
+    bcast = result.column("broadcast us")
+    gsum = result.column("global sum us")
+
+    if not quick:
+        # Full run is the paper's 4x8x8: ~200us small-message
+        # broadcast (10 steps x ~20us/step).
+        assert 170 <= bcast[0] <= 260
+
+    # Global sum ~2x broadcast ("takes roughly twice as many
+    # communication steps").
+    for b, s in zip(bcast, gsum):
+        assert 1.4 <= s / b <= 3.0
+
+    # Time grows monotonically with message size.
+    assert bcast == sorted(bcast)

@@ -1,0 +1,17 @@
+"""Non-nearest-neighbor routing latency: 18.5 + 12.5 (n-1) us."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.bench.harness import run_experiment
+
+
+def test_routing_latency(benchmark, quick):
+    result = run_once(benchmark,
+                      lambda: run_experiment("routing", quick=quick))
+    print()
+    print(result.render())
+    measured = result.column("measured RTT/2")
+    predicted = result.column("paper model")
+    for got, want in zip(measured, predicted):
+        assert got == pytest.approx(want, abs=0.8)

@@ -1,0 +1,95 @@
+"""The paper's motivating workload: a parallel LQCD operator step.
+
+Run:  python examples/lqcd_halo_exchange.py
+
+Eight ranks on a 2x2x2 torus each own a 4^4 sub-lattice.  Every
+iteration they exchange 3-D hypersurface halos with all six neighbors
+through MPI/QMP over the simulated mesh (real numpy boundary planes
+travel), apply the SU(3) hopping operator, and combine a global norm —
+exactly the per-iteration pattern described in section 1 of the paper.
+
+The example checks a physics invariant across the distributed step
+(the globally-summed operator norm is reproducible) and reports the
+communication/computation breakdown per iteration.
+"""
+
+import numpy as np
+
+from repro.cluster import build_mesh, run_mpi
+from repro.lqcd.dslash import WilsonDslash
+from repro.lqcd.halo import (
+    HaloExchanger,
+    field_planes,
+    install_planes,
+)
+from repro.lqcd.lattice import COLOR_VECTOR_BYTES, LocalLattice
+from repro.topology.torus import Direction
+
+MACHINE = (2, 2, 2)
+LOCAL = LocalLattice(4, 4, 4, 4)
+ITERATIONS = 3
+
+
+def program(comm, report):
+    sim = comm.engine.sim
+    rng = np.random.default_rng(42)  # same gauge field on every rank
+    dslash = WilsonDslash(LOCAL, mass=0.5, rng=rng)
+    psi = dslash.random_field(np.random.default_rng(1000 + comm.rank))
+    torus = comm.torus
+    neighbors = {
+        (axis, sign): torus.neighbor(comm.rank, Direction(axis, sign))
+        for axis in range(3) for sign in (+1, -1)
+    }
+    exchanger = HaloExchanger(comm, neighbors, LOCAL,
+                              site_bytes=COLOR_VECTOR_BYTES)
+    yield from comm.barrier()
+    comm_us = 0.0
+    for _ in range(ITERATIONS):
+        # 1. Halo exchange: ship real boundary planes to neighbors.
+        start = sim.now
+        received = yield from exchanger.exchange(
+            field_planes(dslash, psi)
+        )
+        install_planes(dslash, psi, received)
+        comm_us += sim.now - start
+
+        # 2. Apply the operator with the freshly filled halos.
+        psi = dslash.apply(psi, halo_filled=True)
+
+        # 3. Global reduction of the local norm (the per-iteration
+        #    collective of section 1).
+        local_norm = float(np.sum(np.abs(dslash.interior(psi)) ** 2))
+        start = sim.now
+        global_norm = yield from comm.allreduce(
+            nbytes=8, data=np.float64(local_norm)
+        )
+        comm_us += sim.now - start
+
+    report[comm.rank] = {
+        "global_norm": float(global_norm),
+        "halo_bytes_per_iter":
+            exchanger.stats["bytes"] // ITERATIONS,
+        "comm_us_per_iter": round(comm_us / ITERATIONS, 1),
+    }
+    return float(global_norm)
+
+
+def main():
+    cluster = build_mesh(MACHINE, wrap=True)
+    report = {}
+    norms = run_mpi(cluster, program, args=(report,))
+    # Every rank computed the same global norm: the reduction worked.
+    assert len(set(round(n, 6) for n in norms)) == 1
+    sample = report[0]
+    print(f"machine {MACHINE}, local lattice {LOCAL.dims} per node")
+    print(f"global |D psi|^2 after {ITERATIONS} iterations: "
+          f"{norms[0]:.6e} (identical on all {len(norms)} ranks)")
+    print(f"halo traffic per node per iteration: "
+          f"{sample['halo_bytes_per_iter']} bytes over 6 faces")
+    print(f"communication time per iteration: "
+          f"{sample['comm_us_per_iter']} us (simulated)")
+    print(f"surface-to-volume ratio: {LOCAL.surface_to_volume():.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Quickstart: build a simulated GigE mesh cluster and pass messages.
+
+Run:  python examples/quickstart.py
+
+Builds a 3x3 torus wired like the paper's clusters (dual-port GigE
+adapters, modified M-VIA), runs an SPMD program on all 9 ranks doing
+point-to-point messaging and collectives, and prints the measured
+(simulated) timings.
+"""
+
+import numpy as np
+
+from repro.cluster import build_mesh, build_world, run_mpi
+
+
+def program(comm):
+    """One rank's program: a ring exchange, then collectives."""
+    sim = comm.engine.sim
+    right = (comm.rank + 1) % comm.size
+    left = (comm.rank - 1) % comm.size
+
+    # Point-to-point: pass a token around the ring.
+    start = sim.now
+    request = yield from comm.sendrecv(
+        dest=right, source=left,
+        send_nbytes=64, recv_nbytes=64,
+        data=f"token-from-{comm.rank}",
+    )
+    exchange_us = sim.now - start
+    assert request.received_data == f"token-from-{left}"
+
+    # Collectives: broadcast a config, reduce a result.
+    config = {"beta": 5.7} if comm.rank == 0 else None
+    config = yield from comm.bcast(root=0, nbytes=256, data=config)
+    total = yield from comm.allreduce(nbytes=8,
+                                      data=np.float64(comm.rank))
+    yield from comm.barrier()
+    return {
+        "rank": comm.rank,
+        "exchange_us": round(exchange_us, 2),
+        "beta": config["beta"],
+        "rank_sum": float(total),
+    }
+
+
+def main():
+    cluster = build_mesh((3, 3), wrap=True)
+    print(f"cluster: {cluster.torus!r}, "
+          f"{len(cluster.links)} full-duplex GigE links")
+    comms = build_world(cluster)
+    print("nearest-neighbor VIA channels established "
+          f"(sim time {cluster.sim.now:.0f} us)")
+    results = run_mpi(cluster, program, comms=comms)
+    for row in results:
+        print(row)
+    assert all(r["rank_sum"] == sum(range(9)) for r in results)
+    print(f"\ntotal simulated time: {cluster.sim.now:.1f} us")
+
+
+if __name__ == "__main__":
+    main()

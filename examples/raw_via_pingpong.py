@@ -1,0 +1,106 @@
+"""OS-bypass messaging at the raw VIA level (VIPL-style API).
+
+Run:  python examples/raw_via_pingpong.py
+
+This is the layer below MPI/QMP: Virtual Interfaces, registered
+memory, posted descriptors, completion waits — the programming model
+of the paper's modified M-VIA.  The example measures the small-message
+half round trip (the paper's 18.5 us) and the large-message
+simultaneous bandwidth (~110 MB/s), then runs the same pingpong over
+the kernel TCP stack for contrast.
+"""
+
+from repro.cluster import build_mesh
+from repro.via import vipl
+from repro.via.descriptors import RecvDescriptor, SendDescriptor
+
+
+def via_pingpong():
+    cluster = build_mesh((2,), wrap=False, stack="via")
+    sim = cluster.sim
+    nic0, nic1 = cluster.nodes[0].via, cluster.nodes[1].via
+
+    # VIPL bring-up: protection tags, memory, VIs, connection.
+    ptag0 = vipl.VipCreatePtag(nic0)
+    ptag1 = vipl.VipCreatePtag(nic1)
+    vi0 = vipl.VipCreateVi(nic0, ptag0)
+    vi1 = vipl.VipCreateVi(nic1, ptag1)
+    setup = {}
+
+    def bring_up():
+        setup["mem0"] = yield from vipl.VipRegisterMem(nic0, 1 << 20,
+                                                       ptag0)
+        setup["mem1"] = yield from vipl.VipRegisterMem(nic1, 1 << 20,
+                                                       ptag1)
+        # Both sides rendezvous on a discriminator.
+        sim.spawn(vipl.VipConnectWait(vi1, "pingpong"))
+        yield from vipl.VipConnectRequest(vi0, 1, "pingpong")
+
+    sim.run_until_complete(sim.spawn(bring_up()))
+    mem0, mem1 = setup["mem0"], setup["mem1"]
+    print(f"connected at simulated t={sim.now:.1f} us "
+          f"(includes memory registration: real pinning cost)")
+
+    rounds = 20
+    result = {}
+
+    def ponger():
+        for _ in range(rounds):
+            vipl.VipPostRecv(vi1, RecvDescriptor(mem1, 0, 4096))
+            yield from vipl.VipRecvWait(vi1)
+            yield from vipl.VipPostSend(vi1, SendDescriptor(mem1, 0, 4))
+            yield from vipl.VipSendWait(vi1)
+
+    def pinger():
+        start = sim.now
+        for _ in range(rounds):
+            vipl.VipPostRecv(vi0, RecvDescriptor(mem0, 0, 4096))
+            yield from vipl.VipPostSend(vi0, SendDescriptor(mem0, 0, 4))
+            yield from vipl.VipSendWait(vi0)
+            yield from vipl.VipRecvWait(vi0)
+        result["rtt2"] = (sim.now - start) / rounds / 2
+
+    sim.spawn(ponger())
+    sim.run_until_complete(sim.spawn(pinger()))
+    print(f"M-VIA 4-byte RTT/2: {result['rtt2']:.2f} us "
+          f"(paper: ~18.5 us)")
+
+
+def tcp_pingpong():
+    cluster = build_mesh((2,), wrap=False, stack="tcp")
+    sim = cluster.sim
+    stacks = [node.tcp for node in cluster.nodes]
+    result = {}
+
+    def server():
+        sock = yield from stacks[1].listen(7)
+        for _ in range(20):
+            yield from sock.recv(4)
+            yield from sock.send(4)
+
+    def client():
+        sock = yield from stacks[0].connect(1, 7)
+        start = sim.now
+        for _ in range(20):
+            yield from sock.send(4)
+            yield from sock.recv(4)
+        result["rtt2"] = (sim.now - start) / 40
+
+    sim.spawn(server())
+    sim.run_until_complete(sim.spawn(client()))
+    print(f"TCP   4-byte RTT/2: {result['rtt2']:.2f} us "
+          f"(paper: 'at least 30% higher')")
+
+
+def via_simultaneous_bandwidth():
+    from repro.bench.microbench import via_simultaneous_bandwidth
+
+    bandwidth = via_simultaneous_bandwidth(2_000_000)
+    print(f"M-VIA simultaneous send bandwidth: {bandwidth:.1f} MB/s "
+          f"(paper: ~110 MB/s)")
+
+
+if __name__ == "__main__":
+    via_pingpong()
+    tcp_pingpong()
+    via_simultaneous_bandwidth()

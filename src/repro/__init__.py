@@ -1,0 +1,41 @@
+"""repro — reproduction of *Message Passing for Linux Clusters with
+Gigabit Ethernet Mesh Connections* (Chen, Watson, Edwards, Mao; IPPS 2005).
+
+The package builds, in pure Python, every system the paper describes:
+
+* a deterministic discrete-event simulator (:mod:`repro.sim`),
+* calibrated hardware models for GigE adapters, links, the PCI-X bus and
+  a Myrinet comparator (:mod:`repro.hw`),
+* torus/mesh topology machinery (:mod:`repro.topology`),
+* a modified-M-VIA model with OS-bypass semantics and kernel-level
+  packet switching (:mod:`repro.via`) and a TCP baseline
+  (:mod:`repro.tcpip`),
+* the common messaging core with eager/rendezvous protocols and token
+  flow control (:mod:`repro.core`),
+* MPI-1.1-style and QMP-style message-passing libraries
+  (:mod:`repro.mpi`, :mod:`repro.qmp`),
+* torus collective algorithms including the paper's optimal scatter
+  (:mod:`repro.collectives`),
+* an LQCD application benchmark with real SU(3) numpy kernels
+  (:mod:`repro.lqcd`),
+* cluster builders and a parallel-program API (:mod:`repro.cluster`),
+* the benchmark harness regenerating every figure and table
+  (:mod:`repro.bench`).
+
+Quickstart::
+
+    from repro.cluster import build_torus_cluster
+    from repro.mpi import run_mpi
+
+    cluster = build_torus_cluster((4, 4))
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.send(b"hello", dest=1, tag=7)
+        elif comm.rank == 1:
+            msg = yield from comm.recv(source=0, tag=7)
+    results = run_mpi(cluster, program)
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,23 @@
+"""Analysis helpers: the cost model behind Table 1 and statistics."""
+
+from repro.analysis.costmodel import ClusterCosts, dollars_per_mflops
+from repro.analysis.logp import LogGPParams, measure_via_loggp
+from repro.analysis.stats import geometric_mean, linear_fit, percentile
+from repro.analysis.timeline import (
+    link_utilization,
+    node_utilization,
+    utilization_report,
+)
+
+__all__ = [
+    "ClusterCosts",
+    "dollars_per_mflops",
+    "LogGPParams",
+    "measure_via_loggp",
+    "geometric_mean",
+    "linear_fit",
+    "percentile",
+    "link_utilization",
+    "node_utilization",
+    "utilization_report",
+]

@@ -1,0 +1,49 @@
+"""Cluster cost model (paper sections 3 and 6).
+
+Published anchors: each GigE adapter cost $140, $420 of networking per
+node; Myrinet/Infiniband ports ran ~$1000 (section 3).  The node base
+price reflects a 2003-era single-P4-Xeon server.  Table 1 reports
+estimated $/Mflops = per-node cost / (per-node Gflops x 1000), "based
+on the costs at the time of the GigE cluster installation".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ClusterCosts:
+    """Per-node dollar costs of one cluster flavor."""
+
+    node_base: float
+    network_per_node: float
+    label: str = ""
+
+    @property
+    def per_node(self) -> float:
+        return self.node_base + self.network_per_node
+
+
+#: 2.67 GHz P4 Xeon node, three dual-port GigE adapters at $140 each
+#: ("a total expenditure of $420 for networking components on a
+#: single node", section 3).
+GIGE_MESH_COSTS = ClusterCosts(node_base=1400.0,
+                               network_per_node=3 * 140.0,
+                               label="GigE mesh")
+
+#: 2.0 GHz P4 Xeon node + Myrinet LaNai9 port incl. switch share.
+MYRINET_COSTS = ClusterCosts(node_base=1400.0,
+                             network_per_node=1000.0,
+                             label="Myrinet switched")
+
+
+def dollars_per_mflops(costs: ClusterCosts, gflops_per_node: float) -> float:
+    """Estimated $/Mflops for a cluster at a measured per-node rate."""
+    if gflops_per_node <= 0:
+        raise ConfigurationError(
+            f"gflops must be positive, got {gflops_per_node}"
+        )
+    return costs.per_node / (gflops_per_node * 1000.0)

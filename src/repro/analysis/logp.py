@@ -1,0 +1,104 @@
+"""LogP/LogGP characterization of the simulated interconnects.
+
+The paper grounds its latency/bandwidth methodology in Culler et al.'s
+LogP assessment of fast network interfaces (its reference [9]).  This
+module extracts the LogGP parameters from the same micro-benchmarks the
+figures use, so the simulated machine can be compared against
+published LogP tables of the era:
+
+* ``L`` — wire/NIC latency: one-way time minus both host overheads;
+* ``o_s`` / ``o_r`` — send/receive host overheads (from the calibrated
+  protocol parameters, cross-checked against an overhead-removal run);
+* ``g`` — gap between small messages (inverse small-message rate);
+* ``G`` — per-byte gap (inverse asymptotic bandwidth).
+
+The fitted model then *predicts* point-to-point times, and
+:func:`validate_model` reports prediction error against fresh
+simulation measurements — a consistency check that the simulator's
+behavior is as decomposable as the real hardware's was.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.stats import linear_fit
+from repro.bench import microbench as mb
+from repro.hw.params import ViaParams
+
+
+@dataclass(frozen=True)
+class LogGPParams:
+    """Fitted LogGP parameters (microseconds / bytes)."""
+
+    L: float          # latency
+    o_send: float     # send overhead
+    o_recv: float     # receive overhead
+    g: float          # per-message gap
+    G: float          # per-byte gap
+
+    @property
+    def o(self) -> float:
+        return self.o_send + self.o_recv
+
+    def one_way_time(self, nbytes: float) -> float:
+        """Predicted one-way small/large message time."""
+        return self.o_send + self.L + self.G * nbytes + self.o_recv
+
+    def bandwidth(self, nbytes: float) -> float:
+        """Predicted sustained bandwidth at ``nbytes`` messages."""
+        return nbytes / max(self.g + self.G * nbytes, 1e-12)
+
+
+def measure_via_loggp(small: int = 4,
+                      large_sizes: Sequence[int] = (262144, 1048576),
+                      ) -> LogGPParams:
+    """Fit LogGP to the simulated M-VIA stack.
+
+    Overheads come from the calibrated VIA parameters (the paper's
+    ~6 us split); L is the small-message one-way time minus both
+    overheads; G is fitted from large-message bandwidth; g from the
+    streaming rate of back-to-back small messages.
+    """
+    params = ViaParams()
+    o_send = params.send_overhead
+    o_recv = params.recv_overhead
+    one_way_small = mb.via_latency(small)
+    L = one_way_small - o_send - o_recv
+    # Per-byte gap from the large-message bandwidth asymptote.
+    sizes: List[float] = []
+    times: List[float] = []
+    for nbytes in large_sizes:
+        bandwidth = mb.via_simultaneous_bandwidth(nbytes)
+        sizes.append(float(nbytes))
+        times.append(nbytes / bandwidth)
+    G, intercept = linear_fit(sizes, times)
+    g = max(intercept, 0.0)
+    return LogGPParams(L=L, o_send=o_send, o_recv=o_recv, g=g, G=G)
+
+
+def validate_model(model: LogGPParams,
+                   sizes: Sequence[int] = (4, 256, 1024, 4096),
+                   ) -> Dict[int, Tuple[float, float]]:
+    """Measured vs predicted one-way time per size.
+
+    Returns {size: (measured, predicted)}.  Small/medium messages only
+    — the linear LogGP form does not model the eager/rendezvous switch.
+    """
+    out: Dict[int, Tuple[float, float]] = {}
+    for nbytes in sizes:
+        measured = mb.via_latency(nbytes)
+        predicted = model.one_way_time(nbytes)
+        out[nbytes] = (measured, predicted)
+    return out
+
+
+def prediction_error(model: LogGPParams,
+                     sizes: Sequence[int] = (4, 256, 1024, 4096),
+                     ) -> float:
+    """Worst relative prediction error over ``sizes``."""
+    worst = 0.0
+    for measured, predicted in validate_model(model, sizes).values():
+        worst = max(worst, abs(measured - predicted) / measured)
+    return worst

@@ -1,0 +1,35 @@
+"""Small statistics helpers used by the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import BenchmarkError
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise BenchmarkError("geometric mean of no values")
+    if np.any(arr <= 0):
+        raise BenchmarkError("geometric mean requires positive values")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise BenchmarkError("percentile of no values")
+    return float(np.percentile(arr, q))
+
+
+def linear_fit(x: Sequence[float], y: Sequence[float]) -> Tuple[float, float]:
+    """Least-squares slope and intercept (e.g. latency-vs-size fits)."""
+    xa = np.asarray(x, dtype=float)
+    ya = np.asarray(y, dtype=float)
+    if xa.size != ya.size or xa.size < 2:
+        raise BenchmarkError("linear fit needs >= 2 paired samples")
+    slope, intercept = np.polyfit(xa, ya, 1)
+    return float(slope), float(intercept)

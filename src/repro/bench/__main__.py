@@ -1,0 +1,46 @@
+"""CLI: ``python -m repro.bench <experiment ...> [--quick] [--csv]``.
+
+``python -m repro.bench all`` runs everything (the full set takes a
+while; add ``--quick`` for the reduced sweeps).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.harness import EXPERIMENTS, run_experiment
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Regenerate the paper's figures and tables.",
+    )
+    parser.add_argument(
+        "experiments", nargs="+",
+        help=f"experiment ids ({', '.join(EXPERIMENTS)}) or 'all'",
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced sweeps (CI-sized)")
+    parser.add_argument("--csv", action="store_true",
+                        help="emit CSV instead of tables")
+    args = parser.parse_args(argv)
+
+    names = list(args.experiments)
+    if names == ["all"]:
+        names = list(EXPERIMENTS)
+    for name in names:
+        started = time.time()
+        result = run_experiment(name, quick=args.quick)
+        output = result.csv() if args.csv else result.render()
+        sys.stdout.write(output)
+        sys.stdout.write(
+            f"[{name}: {time.time() - started:.1f}s wall]\n\n"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

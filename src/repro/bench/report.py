@@ -1,0 +1,58 @@
+"""Plain-text and CSV rendering of experiment results."""
+
+from __future__ import annotations
+
+import io
+from typing import Any, Sequence
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.1f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def render_table(title: str, columns: Sequence[str],
+                 rows: Sequence[Sequence[Any]],
+                 notes: Sequence[str] = ()) -> str:
+    """Fixed-width table with a title rule and optional footnotes."""
+    cells = [[_format_cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(col), *(len(row[i]) for row in cells)) if cells else len(col)
+        for i, col in enumerate(columns)
+    ]
+    out = io.StringIO()
+    out.write(title + "\n")
+    out.write("=" * max(len(title), sum(widths) + 2 * len(widths)) + "\n")
+    header = "  ".join(col.rjust(w) for col, w in zip(columns, widths))
+    out.write(header + "\n")
+    out.write("-" * len(header) + "\n")
+    for row in cells:
+        out.write("  ".join(c.rjust(w) for c, w in zip(row, widths)) + "\n")
+    for note in notes:
+        out.write(f"note: {note}\n")
+    return out.getvalue()
+
+
+def to_csv(columns: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Comma-separated rendering (no quoting needed for our data)."""
+    lines = [",".join(columns)]
+    for row in rows:
+        lines.append(",".join(_format_cell(v) for v in row))
+    return "\n".join(lines) + "\n"
+
+
+def to_markdown(columns: Sequence[str],
+                rows: Sequence[Sequence[Any]]) -> str:
+    """GitHub-flavored markdown table (used to build EXPERIMENTS.md)."""
+    out = ["| " + " | ".join(columns) + " |",
+           "|" + "|".join("---" for _ in columns) + "|"]
+    for row in rows:
+        out.append("| " + " | ".join(_format_cell(v) for v in row) + " |")
+    return "\n".join(out) + "\n"

@@ -1,0 +1,38 @@
+"""Cluster construction and parallel-program execution.
+
+* :mod:`repro.cluster.builder` — wires hosts, GigE ports and links into
+  a mesh/torus and attaches a protocol stack (VIA or TCP);
+* :mod:`repro.cluster.configs` — the paper's machines: the 256-node
+  4x8x8 torus, the 384-node 6x8x8 torus, and the 128-node Myrinet
+  comparator;
+* :mod:`repro.cluster.process_api` — SPMD program execution: one
+  generator per rank, MPI/QMP handles passed in.
+"""
+
+from repro.cluster.builder import MeshCluster, MeshNode, build_mesh
+from repro.cluster.configs import (
+    jlab_cluster_a,
+    jlab_cluster_b,
+    myrinet_cluster,
+    small_mesh,
+)
+from repro.cluster.process_api import (
+    build_engines,
+    build_world,
+    run_mpi,
+    run_qmp,
+)
+
+__all__ = [
+    "MeshCluster",
+    "MeshNode",
+    "build_mesh",
+    "jlab_cluster_a",
+    "jlab_cluster_b",
+    "myrinet_cluster",
+    "small_mesh",
+    "build_engines",
+    "build_world",
+    "run_mpi",
+    "run_qmp",
+]

@@ -1,0 +1,154 @@
+"""Build simulated mesh clusters.
+
+A :class:`MeshCluster` owns one :class:`~repro.sim.Simulator` plus, per
+node, a :class:`~repro.hw.node.Host` and one GigE port per mesh
+direction, wired with full-duplex links exactly as the Jlab machines
+were cabled: dual-port adapters, one adapter (= one PCI-X slot) per
+axis, the +axis port and -axis port of each node cabled to the
+corresponding neighbors.
+
+Protocol stacks attach afterwards: :meth:`MeshCluster.attach_via`
+installs a :class:`~repro.via.device.ViaDevice` per node (the modified
+M-VIA), :meth:`MeshCluster.attach_tcp` installs the TCP baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.hw.link import Link
+from repro.hw.nic import GigEPort
+from repro.hw.node import Host
+from repro.hw.params import GigEParams, HostParams, TcpParams, ViaParams
+from repro.sim import Simulator
+from repro.topology.torus import Torus
+
+
+@dataclass
+class MeshNode:
+    """One cluster node: host resources plus its wired GigE ports."""
+
+    rank: int
+    host: Host
+    ports: Dict[int, GigEPort] = field(default_factory=dict)
+    #: Set by attach_via / attach_tcp.
+    via: Optional[object] = None
+    tcp: Optional[object] = None
+
+
+class MeshCluster:
+    """A wired mesh/torus of simulated nodes."""
+
+    def __init__(self, torus: Torus,
+                 sim: Optional[Simulator] = None,
+                 host_params: Optional[HostParams] = None,
+                 gige_params: Optional[GigEParams] = None) -> None:
+        self.sim = sim or Simulator()
+        self.torus = torus
+        self.host_params = host_params or HostParams()
+        self.gige_params = gige_params or GigEParams()
+        directions = torus.directions()
+        if not directions:
+            raise ConfigurationError(f"{torus!r} has no links to wire")
+        # One dual-port adapter per axis -> one PCI-X slot per axis.
+        num_pci = max(1, (max(d.port for d in directions) // 2) + 1)
+        self.nodes: List[MeshNode] = []
+        for rank in torus.ranks():
+            host = Host(self.sim, rank, self.host_params,
+                        num_pci_buses=num_pci)
+            node = MeshNode(rank=rank, host=host)
+            for direction in directions:
+                if torus.has_neighbor(rank, direction):
+                    port = GigEPort(
+                        self.sim, host, self.gige_params,
+                        pci_index=direction.port // 2,
+                        name=f"n{rank}:{direction}",
+                    )
+                    node.ports[direction.port] = port
+            self.nodes.append(node)
+        self.links: List[Link] = []
+        self._wire()
+
+    def _wire(self) -> None:
+        g = self.gige_params
+        for rank in self.torus.ranks():
+            for direction in self.torus.directions():
+                if direction.sign < 0:
+                    continue
+                if not self.torus.has_neighbor(rank, direction):
+                    continue
+                neighbor = self.torus.neighbor(rank, direction)
+                link = Link(
+                    self.sim, g.wire_rate, g.frame_overhead, g.propagation,
+                    name=f"link[{rank}{direction}{neighbor}]",
+                    corrupt_every=g.corrupt_every,
+                )
+                self.nodes[rank].ports[direction.port].attach_link(link, 0)
+                self.nodes[neighbor].ports[
+                    direction.opposite.port
+                ].attach_link(link, 1)
+                self.links.append(link)
+
+    @property
+    def size(self) -> int:
+        return self.torus.size
+
+    def node(self, rank: int) -> MeshNode:
+        return self.nodes[rank]
+
+    # -- protocol stacks ---------------------------------------------------
+    def attach_via(self, via_params: Optional[ViaParams] = None) -> None:
+        """Install the modified M-VIA on every node."""
+        from repro.via.device import ViaDevice
+
+        params = via_params or ViaParams()
+        for node in self.nodes:
+            if node.via is not None or node.tcp is not None:
+                raise ConfigurationError(
+                    f"node {node.rank} already has a protocol stack"
+                )
+            node.via = ViaDevice(
+                self.sim, node.host, node.rank, self.torus, node.ports,
+                params=params,
+            )
+
+    def attach_tcp(self, tcp_params: Optional[TcpParams] = None) -> None:
+        """Install the kernel TCP/IP baseline on every node."""
+        from repro.tcpip.stack import TcpStack
+
+        params = tcp_params or TcpParams()
+        for node in self.nodes:
+            if node.via is not None or node.tcp is not None:
+                raise ConfigurationError(
+                    f"node {node.rank} already has a protocol stack"
+                )
+            node.tcp = TcpStack(
+                self.sim, node.host, node.rank, self.torus, node.ports,
+                params=params,
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"MeshCluster({self.torus!r})"
+
+
+def build_mesh(dims, wrap: bool = True, stack: str = "via",
+               sim: Optional[Simulator] = None,
+               host_params: Optional[HostParams] = None,
+               gige_params: Optional[GigEParams] = None,
+               via_params: Optional[ViaParams] = None,
+               tcp_params: Optional[TcpParams] = None) -> MeshCluster:
+    """One-call cluster factory.
+
+    ``stack`` is ``"via"``, ``"tcp"`` or ``"none"``.
+    """
+    cluster = MeshCluster(Torus(dims, wrap=wrap), sim=sim,
+                          host_params=host_params, gige_params=gige_params)
+    if stack == "via":
+        cluster.attach_via(via_params)
+    elif stack == "tcp":
+        cluster.attach_tcp(tcp_params)
+    elif stack != "none":
+        raise ConfigurationError(f"unknown stack {stack!r}")
+    return cluster

@@ -1,0 +1,41 @@
+"""The paper's cluster configurations (section 3)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cluster.builder import MeshCluster, build_mesh
+from repro.hw.params import HostParams
+from repro.sim import Simulator
+
+
+def jlab_cluster_a(stack: str = "via",
+                   sim: Optional[Simulator] = None) -> MeshCluster:
+    """The 256-node 4x8x8 torus: 2.67 GHz P4 Xeon, 256 MB, three
+    dual-port Intel Pro/1000MT adapters.  All paper measurements were
+    taken on this machine."""
+    return build_mesh((4, 8, 8), wrap=True, stack=stack, sim=sim,
+                      host_params=HostParams(cpu_ghz=2.67, memory_mb=256))
+
+
+def jlab_cluster_b(stack: str = "via",
+                   sim: Optional[Simulator] = None) -> MeshCluster:
+    """The 384-node 6x8x8 torus: 3.0 GHz P4 Xeon, 512 MB."""
+    return build_mesh((6, 8, 8), wrap=True, stack=stack, sim=sim,
+                      host_params=HostParams(cpu_ghz=3.0, memory_mb=512))
+
+
+def small_mesh(dims=(2,), wrap: bool = False, stack: str = "via",
+               sim: Optional[Simulator] = None, **kwargs) -> MeshCluster:
+    """Small test meshes (point-to-point benchmarks use a 2-node or a
+    3x3x3 arrangement rather than the full production machine)."""
+    return build_mesh(dims, wrap=wrap, stack=stack, sim=sim, **kwargs)
+
+
+def myrinet_cluster(num_hosts: int = 128, sim: Optional[Simulator] = None):
+    """The Myrinet comparator: 128 2.0 GHz P4 Xeons on a Myrinet 2000
+    full-bisection Clos switch (section 3).  Returns (sim, fabric)."""
+    from repro.hw.myrinet import MyrinetFabric
+
+    sim = sim or Simulator()
+    return sim, MyrinetFabric(sim, num_hosts)

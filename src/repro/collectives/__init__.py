@@ -1,0 +1,50 @@
+"""Torus collective-communication algorithms (paper section 5.2).
+
+Every algorithm exists in two forms:
+
+* an **executable** SPMD form — per-rank generator subroutines invoked
+  through :class:`repro.mpi.Communicator` methods, running on the
+  simulated cluster (store-and-forward through the six GigE links,
+  multi-port concurrency, real protocol costs);
+* an **analytic** step-count form (:mod:`repro.collectives.schedule`)
+  matching the paper's synchronized-step k-port model, used to verify
+  the OPT optimality bound ``max(T1, T2)`` and the SDF comparison.
+
+Algorithms:
+
+* dimension-order broadcast (x line, then xy plane, then the volume);
+* reduction as its reverse with combining;
+* global combine (allreduce) = reduce + broadcast; barrier = combine
+  with a null reduction;
+* one-to-all personalized communication (scatter) with the SDF and OPT
+  schedulers, gather as the reverse, and all-to-all personalized as a
+  parallel scatter from every node.
+"""
+
+from repro.collectives import (  # noqa: F401 (re-export modules)
+    allgather,
+    alltoall,
+    analysis,
+    broadcast,
+    combine,
+    gather,
+    reduce,
+    scan,
+    scatter,
+    schedule,
+    tree,
+)
+
+__all__ = [
+    "allgather",
+    "analysis",
+    "broadcast",
+    "scan",
+    "reduce",
+    "combine",
+    "scatter",
+    "gather",
+    "alltoall",
+    "schedule",
+    "tree",
+]

@@ -1,0 +1,24 @@
+"""All-gather: every rank ends with every rank's slice.
+
+Not separately discussed in the paper; composed the way its global
+combine is — gather to a root along the dimension-order tree, then
+broadcast the assembled list — so costs mirror the §5.2 building
+blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.collectives.broadcast import bcast
+from repro.collectives.gather import gather
+
+ALLGATHER_ROOT = 0
+
+
+def allgather(comm, nbytes: int, data: Any):
+    """Process: SPMD allgather; returns the per-rank list everywhere."""
+    slices = yield from gather(comm, ALLGATHER_ROOT, nbytes, data)
+    result = yield from bcast(comm, ALLGATHER_ROOT, nbytes * comm.size,
+                              slices)
+    return result

@@ -1,0 +1,48 @@
+"""All-to-all personalized communication.
+
+"Finally an all-to-all personalized communication is implemented as a
+parallel execution of every one-to-all personalized communication from
+all nodes" (section 5.2).  Each rank injects its p-1 messages directly
+(kernel-switch SDF routing) with a rank-offset injection order so that
+senders do not all target the same destination simultaneously.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+from repro.errors import MpiError
+from repro.mpi.request import waitall
+
+TAG_ALLTOALL = 105
+
+
+def alltoall(comm, nbytes: int, data: Optional[Sequence[Any]]):
+    """Process: SPMD all-to-all; returns this rank's received slices
+    (list indexed by source rank; own slice passed through)."""
+    if data is not None and len(data) != comm.size:
+        raise MpiError(
+            f"alltoall data has {len(data)} slices for {comm.size} ranks"
+        )
+    me = comm.rank
+    recvs = {
+        src: comm.coll_irecv(src, TAG_ALLTOALL, nbytes)
+        for src in range(comm.size) if src != me
+    }
+    sends = []
+    for offset in range(1, comm.size):
+        dst = (me + offset) % comm.size
+        sends.append(
+            comm.coll_isend(
+                dst, TAG_ALLTOALL, nbytes,
+                data=None if data is None else data[dst],
+            )
+        )
+    yield from waitall(sends)
+    yield from waitall(list(recvs.values()))
+    result: List[Any] = [None] * comm.size
+    if data is not None:
+        result[me] = data[me]
+    for src, request in recvs.items():
+        result[src] = request.received_data
+    return result

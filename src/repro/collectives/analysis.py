@@ -1,0 +1,110 @@
+"""Analytic cost models for the torus collectives (paper section 5.2).
+
+The paper analyzes its collectives by communication *steps*: broadcast
+takes ``ceil(x/2) + ceil(y/2) + ceil(z/2)`` dimension-order steps at
+roughly one point-to-point latency each ("about 20 us per step");
+global combining takes roughly twice that; OPT scatter takes
+``max(T1, T2)`` store-and-forward steps.  These functions turn the
+step counts into predicted times using the calibrated latency
+constants, so the DES results can be checked against the paper's own
+arithmetic (and so users can size machines without running the DES).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.collectives.schedule import opt_bound
+from repro.collectives.tree import tree_depth
+from repro.errors import TopologyError
+from repro.topology.torus import Torus
+
+#: Calibrated small-message MPI/QMP one-way latency (us) — the paper's
+#: 18.5, which is also its observed per-step broadcast cost (~20 with
+#: forwarding overhead).
+POINT_TO_POINT_LATENCY = 18.5
+#: Per-step overhead beyond the raw latency (store-and-forward
+#: handling at each relay).
+STEP_OVERHEAD = 1.5
+#: Interrupt-level per-hop cost for store-and-forward relays (§5.1).
+SWITCH_HOP_LATENCY = 12.5
+#: Sustained per-link payload rate (MB/s == bytes/us).
+LINK_BANDWIDTH = 110.0
+
+
+@dataclass(frozen=True)
+class CollectivePrediction:
+    """Predicted steps and time for one collective invocation."""
+
+    steps: int
+    time_us: float
+
+
+def step_time(nbytes: float) -> float:
+    """Predicted cost of one tree step at ``nbytes``."""
+    return (POINT_TO_POINT_LATENCY + STEP_OVERHEAD
+            + nbytes / LINK_BANDWIDTH)
+
+
+def broadcast_prediction(torus: Torus, nbytes: float = 4.0,
+                         root: int = 0) -> CollectivePrediction:
+    """Dimension-order broadcast: steps x per-step time.
+
+    For the 4x8x8 at small sizes: 10 steps x ~20 us ~= 200 us —
+    Figure 5's headline number.
+    """
+    steps = tree_depth(torus, root)
+    return CollectivePrediction(steps, steps * step_time(nbytes))
+
+
+def reduce_prediction(torus: Torus, nbytes: float = 4.0,
+                      root: int = 0) -> CollectivePrediction:
+    """Reduction: the reverse tree, same step count."""
+    return broadcast_prediction(torus, nbytes, root)
+
+
+def global_combine_prediction(torus: Torus, nbytes: float = 4.0,
+                              ) -> CollectivePrediction:
+    """Global combining = reduce + broadcast: ~2x the broadcast
+    ("roughly twice as many communication steps")."""
+    single = broadcast_prediction(torus, nbytes)
+    return CollectivePrediction(2 * single.steps, 2 * single.time_us)
+
+
+def scatter_opt_prediction(torus: Torus, nbytes: float = 64.0,
+                           root: int = 0) -> CollectivePrediction:
+    """OPT scatter: max(T1, T2) store-and-forward steps.
+
+    Steps are paced by the slower of the root's injection period and
+    the per-hop relay cost at this message size.
+    """
+    steps = opt_bound(torus, root)
+    per_step = max(SWITCH_HOP_LATENCY, nbytes / LINK_BANDWIDTH)
+    # The first message also pays the end-to-end software latency.
+    return CollectivePrediction(
+        steps, POINT_TO_POINT_LATENCY + steps * per_step
+    )
+
+
+def barrier_prediction(torus: Torus) -> CollectivePrediction:
+    """Barrier = global combine with a null reduction."""
+    return global_combine_prediction(torus, nbytes=0.0)
+
+
+def validate_against(torus: Torus, measured_broadcast_us: float,
+                     measured_combine_us: float,
+                     nbytes: float = 4.0,
+                     tolerance: float = 0.35) -> bool:
+    """Do measured collective times agree with the step model?
+
+    Used by tests and sanity checks: returns True when both measured
+    values sit within ``tolerance`` (relative) of the predictions.
+    """
+    if measured_broadcast_us <= 0 or measured_combine_us <= 0:
+        raise TopologyError("measured times must be positive")
+    bcast = broadcast_prediction(torus, nbytes).time_us
+    combine = global_combine_prediction(torus, nbytes).time_us
+    return (
+        abs(measured_broadcast_us - bcast) / bcast <= tolerance
+        and abs(measured_combine_us - combine) / combine <= tolerance
+    )

@@ -1,0 +1,65 @@
+"""All-to-one personalized communication (gather).
+
+"The algorithm for all-to-one personalized (gather) communication is
+simply the reverse of the scatter algorithm" (section 5.2).  For OPT,
+each source routes its message along the reverse of its scatter route
+(same region structure, so ejection at the root is spread over all
+links and arrivals within a region stream without contention).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from repro.errors import MpiError
+from repro.mpi.request import waitall
+from repro.topology.partition import partition_regions
+
+TAG_GATHER = 104
+
+
+def _reverse_route(route) -> tuple:
+    """Reverse a scatter route: opposite directions, reverse order."""
+    return tuple(
+        step.direction.opposite.port for step in reversed(route)
+    )
+
+
+def gather(comm, root: int, nbytes, data: Any,
+           algorithm: str = "opt"):
+    """Process: SPMD gather; root returns the list of slices (indexed
+    by rank; root's own slice included), others None.
+
+    ``nbytes`` may be a single int or a per-source sequence
+    (MPI_Gatherv).
+    """
+    if algorithm not in ("sdf", "opt"):
+        raise MpiError(f"unknown gather algorithm {algorithm!r}")
+    from repro.collectives.scatter import _sizes
+
+    sizes = _sizes(comm, nbytes)
+    use_opt = algorithm == "opt" and comm.is_whole_torus
+    if comm.rank == root:
+        slices: List[Any] = [None] * comm.size
+        slices[root] = data
+        requests = [
+            comm.coll_irecv(rank, TAG_GATHER, sizes[rank])
+            for rank in range(comm.size) if rank != root
+        ]
+        yield from waitall(requests)
+        for request in requests:
+            # received_src is a world rank; map back to the group.
+            local = comm.group.local_rank(request.received_src)
+            slices[local] = request.received_data
+        return slices
+    route = None
+    if use_opt:
+        partition = partition_regions(
+            comm.torus, comm.group.world_rank(root)
+        )
+        route = _reverse_route(
+            partition.routes[comm.group.world_rank(comm.rank)]
+        )
+    yield from comm.coll_isend(root, TAG_GATHER, sizes[comm.rank],
+                               data=data, route=route).wait()
+    return None

@@ -1,0 +1,71 @@
+"""Prefix reduction (MPI_Scan) and reduce-scatter.
+
+Neither appears in the paper; they complete the MPI 1.1 collective
+surface.  Scan runs as a rank-ordered chain (each rank combines its
+value with the prefix from rank-1 and forwards), which maps well onto
+the mesh when ranks are laid out row-major: most chain neighbors are
+mesh nearest neighbors.  Reduce-scatter composes the paper's reduction
+with its scatter.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from repro.errors import MpiError
+
+TAG_SCAN = 106
+
+
+def scan(comm, nbytes: int, op, data: Any):
+    """Process: inclusive prefix reduction over ranks 0..size-1.
+
+    Rank r returns op(data_0, ..., data_r).
+    """
+    value = data
+    if comm.rank > 0:
+        request = comm.coll_irecv(comm.rank - 1, TAG_SCAN, nbytes)
+        yield from request.wait()
+        value = op(request.received_data, value)
+    if comm.rank < comm.size - 1:
+        yield from comm.coll_isend(comm.rank + 1, TAG_SCAN, nbytes,
+                                   data=value).wait()
+    return value
+
+
+def reduce_scatter(comm, nbytes: int, op,
+                   data: Optional[Sequence[Any]]):
+    """Process: element-wise reduce a per-rank list, scatter results.
+
+    ``data`` is a list of ``size`` slices on every rank; rank r
+    returns op-combined slice r across all ranks.
+    """
+    if data is not None and len(data) != comm.size:
+        raise MpiError(
+            f"reduce_scatter data has {len(data)} slices for "
+            f"{comm.size} ranks"
+        )
+    from repro.collectives.reduce import reduce as _reduce
+    from repro.collectives.scatter import scatter as _scatter
+
+    # Phase 1: reduce the whole list to rank 0 (the paper's tree).
+    combined = yield from _reduce(
+        comm, 0, nbytes * comm.size, _listwise(op, comm.size), data
+    )
+    # Phase 2: scatter the combined slices (OPT when on the torus).
+    result = yield from _scatter(comm, 0, nbytes, combined,
+                                 algorithm="opt")
+    return result
+
+
+def _listwise(op, size: int):
+    """Lift an element operator to act slice-wise on lists."""
+
+    def combine(a, b):
+        if a is None:
+            return b
+        if b is None:
+            return a
+        return [op(x, y) for x, y in zip(a, b)]
+
+    return combine

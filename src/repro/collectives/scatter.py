@@ -1,0 +1,123 @@
+"""One-to-all personalized communication (scatter) — paper section 5.2.
+
+Two schedulers:
+
+* **SDF** (Shortest-Direction-First): the root sends each message
+  directly, First-Come-First-Serve (rank order); the kernel packet
+  switch routes every packet SDF.  Easy to implement, not optimal.
+* **OPT**: the mesh is partitioned into one region per root link
+  (:mod:`repro.topology.partition`), messages are source-routed along
+  region-constrained minimal paths, and within a region the root sends
+  Furthest-Distance-First so messages stream behind each other without
+  overtaking.  The root needs exactly ``ceil((p-1)/k)`` injection
+  steps and every message proceeds without contention — the paper
+  proves this optimal and measures it ~4x faster than SDF (Figure 6).
+
+Typical LQCD input staging does this ~25,000 times per run (section
+5.2), which is why the paper bothered with an optimal algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+from repro.errors import MpiError
+from repro.mpi.request import waitall
+from repro.topology.partition import partition_regions, region_send_order
+from repro.sim import AllOf
+
+TAG_SCATTER = 103
+
+
+def _root_world(comm, root: int) -> int:
+    return comm.group.world_rank(root)
+
+
+def scatter(comm, root: int, nbytes, data: Optional[Sequence[Any]],
+            algorithm: str = "opt"):
+    """Process: SPMD scatter; every rank returns its slice.
+
+    ``nbytes`` may be a single int or a per-destination sequence
+    (MPI_Scatterv).
+    """
+    if algorithm not in ("sdf", "opt"):
+        raise MpiError(f"unknown scatter algorithm {algorithm!r}")
+    sizes = _sizes(comm, nbytes)
+    if comm.rank == root:
+        if data is not None and len(data) != comm.size:
+            raise MpiError(
+                f"scatter data has {len(data)} slices for {comm.size} ranks"
+            )
+        if algorithm == "opt" and comm.is_whole_torus:
+            yield from _scatter_root_opt(comm, root, sizes, data)
+        else:
+            yield from _scatter_root_sdf(comm, root, sizes, data)
+        return data[root] if data is not None else None
+    request = comm.coll_irecv(root, TAG_SCATTER, sizes[comm.rank])
+    yield from request.wait()
+    return request.received_data
+
+
+def _sizes(comm, nbytes) -> List[int]:
+    if isinstance(nbytes, int):
+        return [nbytes] * comm.size
+    sizes = list(nbytes)
+    if len(sizes) != comm.size:
+        raise MpiError(
+            f"scatterv sizes has {len(sizes)} entries for "
+            f"{comm.size} ranks"
+        )
+    return sizes
+
+
+def _slice(data, rank):
+    return None if data is None else data[rank]
+
+
+def _scatter_root_sdf(comm, root: int, sizes: List[int], data):
+    """FCFS injection, kernel-switch SDF routing."""
+    requests = []
+    for rank in range(comm.size):
+        if rank == root:
+            continue
+        requests.append(
+            comm.coll_isend(rank, TAG_SCATTER, sizes[rank],
+                            data=_slice(data, rank))
+        )
+    yield from waitall(requests)
+
+
+def _scatter_root_opt(comm, root: int, sizes: List[int], data):
+    """Region partition + Furthest-Distance-First source routing."""
+    torus = comm.torus
+    partition = partition_regions(torus, _root_world(comm, root))
+    order = region_send_order(partition)
+    region_processes = []
+    for direction, members in order.items():
+        region_processes.append(
+            comm.engine.sim.spawn(
+                _send_region(comm, partition, members, sizes, data),
+                name=f"opt-scatter:{direction}",
+            )
+        )
+    if region_processes:
+        yield AllOf(comm.engine.sim, region_processes)
+
+
+def _send_region(comm, partition, members: List[int],
+                 sizes: List[int], data):
+    """Process: stream one region's messages FDF down its root link."""
+    requests = []
+    for world_rank in members:
+        route = tuple(
+            step.direction.port for step in partition.routes[world_rank]
+        )
+        local = comm.group.local_rank(world_rank)
+        request = comm.coll_isend(local, TAG_SCATTER, sizes[local],
+                                  data=_slice(data, local), route=route)
+        # Sequential injection per region keeps the FDF streamline
+        # ordering on the wire; waiting for the eager-completion paces
+        # injection at copy speed while regions run in parallel.
+        yield from request.wait()
+        requests.append(request)
+    yield from waitall(requests)

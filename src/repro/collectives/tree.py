@@ -1,0 +1,114 @@
+"""Spanning trees for torus collectives.
+
+The paper's broadcast "travels along a x axis first, then cross an xy
+plane and finally through all yz planes" — i.e. the spanning tree where
+a node's parent lies along the *highest* axis on which it differs from
+the root, one hop closer along the minimal ring direction.  The number
+of communication steps is roughly ``xdim/2 + ydim/2 + zdim/2``.
+
+Also provides binomial trees for non-torus (sub-communicator)
+fallbacks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import TopologyError
+from repro.topology.torus import Direction, Torus
+
+
+def dimension_order_parent(torus: Torus, root: int,
+                           rank: int) -> Optional[int]:
+    """Parent of ``rank`` in the dimension-order tree (None at root)."""
+    if rank == root:
+        return None
+    # offset from rank toward root: the minimal signed displacement.
+    offset = torus.offset(rank, root)
+    axis = max(a for a, delta in enumerate(offset) if delta != 0)
+    direction = Direction(axis, 1 if offset[axis] > 0 else -1)
+    return torus.neighbor(rank, direction)
+
+
+def dimension_order_children(torus: Torus, root: int,
+                             rank: int) -> List[int]:
+    """Children of ``rank``: neighbors whose parent is ``rank``.
+
+    Ordered with ring-continuation children (same axis as our own
+    parent link) first, so pipelines stream without stalls.
+    """
+    children = []
+    for _direction, neighbor in torus.neighbors(rank):
+        if neighbor != rank and dimension_order_parent(
+                torus, root, neighbor) == rank:
+            children.append(neighbor)
+    # Deterministic order: farther-from-root children first so the long
+    # ring pipelines start as early as possible.
+    children.sort(key=lambda n: (-torus.distance(root, n), n))
+    # A node can be its own... no: neighbor != rank keeps self out, but
+    # on extent-2 wrapped axes both directions reach the same neighbor;
+    # de-duplicate while preserving order.
+    seen = set()
+    unique = []
+    for child in children:
+        if child not in seen:
+            seen.add(child)
+            unique.append(child)
+    return unique
+
+
+def tree_depth(torus: Torus, root: int) -> int:
+    """Number of tree levels == broadcast steps lower bound.
+
+    For a full torus this is ``sum(ceil(dim/2))`` over axes with
+    extent > 1, the paper's step count.
+    """
+    return max(
+        _tree_distance(torus, root, rank) for rank in torus.ranks()
+    )
+
+
+def _tree_distance(torus: Torus, root: int, rank: int) -> int:
+    depth = 0
+    node = rank
+    limit = torus.diameter() + 1
+    while node != root:
+        parent = dimension_order_parent(torus, root, node)
+        if parent is None:  # pragma: no cover - defensive
+            raise TopologyError("orphan node in dimension-order tree")
+        node = parent
+        depth += 1
+        if depth > limit:  # pragma: no cover - defensive
+            raise TopologyError("dimension-order tree has a cycle")
+    return depth
+
+
+# ---------------------------------------------------------------------------
+# Binomial trees (generic fallback for arbitrary groups).
+# ---------------------------------------------------------------------------
+
+def binomial_parent(size: int, root: int, rank: int) -> Optional[int]:
+    """Parent in a binomial tree over ranks 0..size-1 rooted at root."""
+    if not 0 <= rank < size:
+        raise TopologyError(f"rank {rank} out of range [0, {size})")
+    relative = (rank - root) % size
+    if relative == 0:
+        return None
+    # Clear the lowest set bit of the relative rank.
+    parent_rel = relative & (relative - 1)
+    return (parent_rel + root) % size
+
+
+def binomial_children(size: int, root: int, rank: int) -> List[int]:
+    """Children in the binomial tree (largest subtree last)."""
+    relative = (rank - root) % size
+    children = []
+    mask = 1
+    while mask < size:
+        if relative & mask:
+            break
+        child_rel = relative | mask
+        if child_rel < size:
+            children.append((child_rel + root) % size)
+        mask <<= 1
+    return children

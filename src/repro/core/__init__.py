@@ -1,0 +1,51 @@
+"""The common messaging core MPI and QMP share (paper section 5).
+
+Both of the paper's message-passing systems are thin APIs over one
+core, and this package is that core:
+
+* per-neighbor **channels** over VIA connections, each with pre-posted
+  eager buffers (:mod:`repro.core.channel`);
+* **token flow control** — M-VIA has none, so the core tracks the
+  receive buffers available at the peer, returns credits by piggyback
+  or explicit update, and blocks senders when out of tokens;
+* two **protocols** switched at 16 KB: an *eager* path (copy into
+  pre-registered bounce buffers, one extra copy each side) and a
+  *rendezvous RMA* path (zero-copy remote write with sender-side
+  matching [FMPL-style]: receivers advertise posted buffers to the
+  expected sender, so a large send that finds an advert starts its RMA
+  immediately);
+* receiver-side **matching** with MPI semantics — (source, tag,
+  context) with wildcards, FIFO per key, unexpected-message queue
+  (:mod:`repro.core.matching`);
+* a per-node **progress engine** draining VIA completions
+  (:mod:`repro.core.engine`).
+"""
+
+from repro.core.message import (
+    ANY_SOURCE,
+    ANY_TAG,
+    CoreParams,
+    Envelope,
+    MsgType,
+    RecvRequest,
+    Request,
+    SendRequest,
+)
+from repro.core.matching import MatchQueue, match
+from repro.core.channel import Channel
+from repro.core.engine import MessagingEngine
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "CoreParams",
+    "Envelope",
+    "MsgType",
+    "Request",
+    "SendRequest",
+    "RecvRequest",
+    "MatchQueue",
+    "match",
+    "Channel",
+    "MessagingEngine",
+]

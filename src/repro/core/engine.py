@@ -1,0 +1,586 @@
+"""The per-node progress engine: protocols, matching, rendezvous.
+
+One :class:`MessagingEngine` runs on each node.  It owns the channels,
+the posted-receive and unexpected-message queues, and a progress
+process that drains the node's VIA receive completion queue.  MPI
+(:mod:`repro.mpi`) and QMP (:mod:`repro.qmp`) are thin facades over
+this engine — the paper's design exactly ("both systems are derived
+from a common core").
+
+Protocol summary (paper section 5.1):
+
+* eager (< 16 KB): sender copies into a bounce buffer, VIA send; the
+  send request completes as soon as the copy is staged (user buffer
+  reusable).  Receiver matches at the library level and pays one more
+  copy bounce -> user buffer.
+* rendezvous RMA (>= 16 KB): receiver advertises its (registered)
+  buffer to the expected sender when it posts the receive — the
+  *sender-side matching* technique [Tatebe et al.] — so a send that
+  finds an advert issues the zero-copy remote write immediately.  A
+  send with no advert yet sends a small RTS; the receiver answers with
+  the advert once a matching receive is posted (this path also covers
+  MPI_ANY_SOURCE receives).  The RMA write carries remote completion
+  (notify), which consumes one pre-posted descriptor, so it also costs
+  one data token.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+from repro.core.channel import Channel
+from repro.core.matching import MatchQueue, match
+from repro.core.message import (
+    ANY_SOURCE,
+    ANY_TAG,
+    CoreParams,
+    Envelope,
+    MsgType,
+    RecvRequest,
+    SendRequest,
+)
+from repro.errors import MessagingError
+from repro.hw.node import PRIO_USER
+from repro.sim import Event
+from repro.via.descriptors import (
+    RecvDescriptor,
+    RmaWriteDescriptor,
+    SendDescriptor,
+)
+from repro.via.device import ViaDevice
+
+
+class ConnectionManager:
+    """Out-of-band channel coordination (the real system bootstrapped
+    connections over a TCP service at MPI_Init time)."""
+
+    def __init__(self) -> None:
+        self.engines: Dict[int, "MessagingEngine"] = {}
+
+    def register(self, engine: "MessagingEngine") -> None:
+        self.engines[engine.rank] = engine
+
+    def notify(self, from_rank: int, to_rank: int) -> None:
+        """Ask ``to_rank``'s engine to open its side of a channel."""
+        peer = self.engines.get(to_rank)
+        if peer is None:
+            raise MessagingError(f"no engine registered for rank {to_rank}")
+        peer.open_channel_from(from_rank)
+
+
+class MessagingEngine:
+    """The messaging core instance of one node."""
+
+    def __init__(self, device: ViaDevice, manager: ConnectionManager,
+                 params: Optional[CoreParams] = None) -> None:
+        self.device = device
+        self.sim = device.sim
+        self.rank = device.rank
+        self.manager = manager
+        self.params = params or CoreParams()
+        self.ptag = device.create_protection_tag()
+        self.recv_cq = device.create_cq(name=f"core-rcq[{self.rank}]")
+        #: peer rank -> Channel, or a pending Event during handshake.
+        self.channels: Dict[int, Union[Channel, Event]] = {}
+        self._vi_to_channel: Dict[int, Channel] = {}
+        self.posted = MatchQueue()
+        self.unexpected = MatchQueue()
+        #: Blocked MPI_Probe callers, woken on unexpected arrivals.
+        self._probe_waiters: list = []
+        #: recv_id -> RecvRequest with an outstanding advert.
+        self.rendezvous_recvs: Dict[int, RecvRequest] = {}
+        #: Orphaned RMA payloads (advert consumed by a stale receiver
+        #: state); they re-enter matching as unexpected messages.
+        self.stats = {"sends": 0, "recvs": 0, "eager_sent": 0,
+                      "rma_sent": 0, "rts_sent": 0, "adverts_sent": 0,
+                      "unexpected": 0, "orphaned_rma": 0}
+        manager.register(self)
+        self.sim.spawn(self._progress(), name=f"engine[{self.rank}]")
+
+    # ------------------------------------------------------------------
+    # Channel management.
+    # ------------------------------------------------------------------
+    def ensure_channel(self, peer: int):
+        """Process: the channel to ``peer``, creating it if needed."""
+        if peer == self.rank:
+            raise MessagingError(f"rank {self.rank}: self-channel")
+        existing = self.channels.get(peer)
+        if isinstance(existing, Channel):
+            return existing
+        if existing is not None:
+            yield existing
+            return self.channels[peer]
+        pending = self.sim.event(name=f"chan{self.rank}-{peer}")
+        self.channels[peer] = pending
+        self.manager.notify(self.rank, peer)
+        channel = Channel(self, peer)
+        self._vi_to_channel[channel.data_vi.vi_id] = channel
+        self._vi_to_channel[channel.ctrl_vi.vi_id] = channel
+        yield from channel.connect(active=self.rank < peer)
+        self.channels[peer] = channel
+        pending.succeed()
+        return channel
+
+    def open_channel_from(self, peer: int) -> None:
+        """Manager callback: open our side of a peer-initiated channel."""
+        if peer not in self.channels:
+            self.sim.spawn(self.ensure_channel(peer),
+                           name=f"accept[{self.rank}<-{peer}]")
+
+    # ------------------------------------------------------------------
+    # Public nonblocking API (used by the MPI and QMP facades).
+    # ------------------------------------------------------------------
+    def isend(self, dst: int, tag: int, context: int, nbytes: int,
+              data=None, route=None, synchronous: bool = False,
+              pack_bytes: int = 0) -> SendRequest:
+        """Start a send; returns immediately with the request handle.
+
+        ``route`` is an explicit source route (egress port per hop,
+        first hop included) that the kernel switch follows instead of
+        SDF — the OPT scatter's region-constrained paths use it.
+        ``synchronous`` gives MPI_Ssend semantics: the request only
+        completes once the receiver has matched (always rendezvous).
+        """
+        request = SendRequest(self.sim, dst, tag, context, nbytes, data)
+        request.route = tuple(route) if route else None
+        request.synchronous = synchronous
+        request.pack_bytes = pack_bytes
+        self.stats["sends"] += 1
+        self.sim.spawn(self._send_process(request),
+                       name=f"send[{self.rank}->{dst}]")
+        return request
+
+    def iprobe(self, src: int, tag: int, context: int):
+        """MPI_Iprobe: the first matching unexpected envelope or None.
+
+        Only messages that have *arrived* are visible, matching MPI
+        semantics (a sent-but-in-flight message is not probeable).
+        """
+        for entry, esrc, etag, ectx in self.unexpected:
+            envelope = entry[0]
+            if match(src, tag, context, esrc, etag, ectx):
+                return envelope
+        return None
+
+    def probe(self, src: int, tag: int, context: int):
+        """Process: MPI_Probe — block until a matching message is
+        queued; returns its envelope without consuming it."""
+        while True:
+            envelope = self.iprobe(src, tag, context)
+            if envelope is not None:
+                return envelope
+            wake = self.sim.event(name=f"probe[{self.rank}]")
+            self._probe_waiters.append(wake)
+            yield wake
+
+    def irecv(self, src: int, tag: int, context: int, nbytes: int,
+              unpack_bytes: int = 0) -> RecvRequest:
+        """Post a receive; returns immediately with the request handle."""
+        request = RecvRequest(self.sim, src, tag, context, nbytes)
+        request.unpack_bytes = unpack_bytes
+        self.stats["recvs"] += 1
+        self.sim.spawn(self._recv_process(request),
+                       name=f"recv[{self.rank}<-{src}]")
+        return request
+
+    # ------------------------------------------------------------------
+    # Send side.
+    # ------------------------------------------------------------------
+    def _send_process(self, request: SendRequest):
+        channel = yield from self.ensure_channel(request.dst)
+        # Non-contiguous user buffers are packed into contiguous
+        # staging before transmission (derived-datatype cost).  The
+        # eager path's bounce copy subsumes packing, so only the
+        # rendezvous path pays it separately.
+        if (request.nbytes < self.params.eager_threshold
+                and not request.synchronous):
+            lock = channel.send_lock.request()
+            yield lock
+            try:
+                yield from self._send_eager(channel, request)
+            finally:
+                channel.send_lock.release(lock)
+        else:
+            yield from self._send_rendezvous(channel, request)
+
+    def _send_eager(self, channel: Channel, request: SendRequest):
+        self.stats["eager_sent"] += 1
+        yield from channel.take_data_token()
+        # Copy into the pre-registered bounce buffer.
+        if request.nbytes:
+            yield from self.device.host.copy(request.nbytes, PRIO_USER)
+        envelope = Envelope(
+            MsgType.EAGER, self.rank, request.tag, request.context,
+            request.nbytes, data=request.data, send_id=request.req_id,
+        )
+        channel.piggyback(envelope)
+        descriptor = SendDescriptor(
+            channel.bounce_region, 0,
+            min(request.nbytes + Envelope.HEADER_BYTES,
+                channel.bounce_region.nbytes),
+            payload=envelope, on_complete=_noop,
+            route=request.route,
+        )
+        yield from channel.data_vi.post_send(descriptor)
+        # Eager semantics: user buffer already staged -> send complete.
+        request.succeed(request)
+
+    def _send_rendezvous(self, channel: Channel, request: SendRequest):
+        self.stats["rma_sent"] += 1
+        if request.pack_bytes:
+            yield from self.device.host.copy(request.pack_bytes,
+                                             PRIO_USER)
+        lock = channel.send_lock.request()
+        yield lock
+        try:
+            advert = channel.advert_queue.pop_first_match(
+                0, request.tag, request.context
+            )
+            if advert is None:
+                channel.pending_sends.append(request, 0, request.tag,
+                                             request.context)
+                self.stats["rts_sent"] += 1
+                # The RTS travels IN-BAND on the data VI so it reaches
+                # the receiver's matching logic in channel-FIFO order
+                # with eager traffic — this is what keeps mixed
+                # small/large sends on one (src, tag) matching in MPI
+                # send order.
+                yield from channel.take_data_token()
+                envelope = Envelope(
+                    MsgType.RTS, self.rank, request.tag,
+                    request.context, request.nbytes,
+                    send_id=request.req_id,
+                )
+                channel.piggyback(envelope)
+                descriptor = SendDescriptor(
+                    channel.bounce_region, 0, Envelope.HEADER_BYTES,
+                    payload=envelope, on_complete=_noop,
+                )
+                yield from channel.data_vi.post_send(descriptor)
+                # The advert handler performs the RMA on arrival.
+                return
+        finally:
+            channel.send_lock.release(lock)
+        yield from self._rma_write(channel, request, advert)
+
+    def _rma_write(self, channel: Channel, request: SendRequest,
+                   advert: Envelope):
+        """Process: the zero-copy remote write for a matched pair.
+
+        Takes the channel send lock: the RMA fragments must not
+        interleave with another message's fragments on the data VI.
+        """
+        if request.nbytes > advert.nbytes:
+            request.fail(MessagingError(
+                f"send of {request.nbytes} bytes into adverted buffer "
+                f"of {advert.nbytes}"
+            ))
+            return
+        lock = channel.send_lock.request()
+        yield lock
+        try:
+            yield from channel.take_data_token()  # the notify uses one
+            envelope = Envelope(
+                MsgType.RMA_DATA, self.rank, request.tag,
+                request.context, request.nbytes, data=request.data,
+                send_id=request.req_id, recv_id=advert.recv_id,
+            )
+            channel.piggyback(envelope)
+            region = self.device.register_memory_now(
+                max(request.nbytes, 1), self.ptag
+            )
+
+            def complete(_descriptor, region=region, request=request):
+                # Registration-cache style: release the pin once the
+                # buffer has been DMA'd out.
+                self.device.memory.deregister(region)
+                request.succeed(request)
+
+            descriptor = RmaWriteDescriptor(
+                region, 0, request.nbytes,
+                payload=envelope, remote_addr=advert.remote_addr,
+                notify=True,
+                on_complete=complete,
+                route=request.route,
+            )
+            yield from channel.data_vi.post_rma_write(descriptor)
+        finally:
+            channel.send_lock.release(lock)
+
+    def _send_ctrl(self, channel: Channel, envelope: Envelope,
+                   is_token_msg: bool = False):
+        yield from channel.take_ctrl_token(for_token_msg=is_token_msg)
+        channel.piggyback(envelope)
+        channel.stats["ctrl"] += 1
+        descriptor = SendDescriptor(
+            channel.bounce_region, 0, Envelope.HEADER_BYTES,
+            payload=envelope, on_complete=_noop,
+        )
+        yield from channel.ctrl_vi.post_send(descriptor)
+
+    # ------------------------------------------------------------------
+    # Receive side.
+    # ------------------------------------------------------------------
+    def _recv_process(self, request: RecvRequest):
+        yield from self.device.host.cpu_work(self.params.match_cost,
+                                             PRIO_USER)
+        entry = self.unexpected.pop_first_match_by_probe(
+            request.src, request.tag, request.context
+        )
+        if entry is not None:
+            envelope = entry[0]
+            if envelope.msg_type is MsgType.RTS:
+                # A large send is waiting for a buffer: answer it.
+                yield from self._bind_to_rts(request, entry)
+            else:
+                yield from self._deliver_unexpected(request, entry)
+            return
+        self.posted.append(request, request.src, request.tag,
+                           request.context)
+        if (self.params.proactive_adverts
+                and request.nbytes >= self.params.eager_threshold
+                and request.src != ANY_SOURCE):
+            # Sender-side matching: advertise the buffer to the
+            # expected sender (binds this receive to a rendezvous).
+            self.posted.remove(request)
+            channel = yield from self.ensure_channel(request.src)
+            yield from self._advertise(channel, request)
+
+    def _bind_to_rts(self, request: RecvRequest, entry):
+        envelope, _descriptor, channel = entry
+        if envelope.nbytes > request.nbytes:
+            request.fail(MessagingError(
+                f"RTS for {envelope.nbytes} bytes, receive of "
+                f"{request.nbytes}"
+            ))
+            return
+        yield from self._advertise(channel, request)
+
+    def _deliver_unexpected(self, request: RecvRequest, entry):
+        envelope, descriptor, channel = entry
+        if envelope.nbytes > request.nbytes:
+            request.fail(MessagingError(
+                f"unexpected message of {envelope.nbytes} bytes for "
+                f"receive of {request.nbytes}"
+            ))
+            return
+        if envelope.nbytes:
+            yield from self.device.host.copy(envelope.nbytes, PRIO_USER)
+        self._complete_recv(request, envelope)
+        if descriptor is not None:
+            self._repost(channel, descriptor)
+            self._maybe_return_tokens(channel)
+
+    def _advertise(self, channel: Channel, request: RecvRequest):
+        request.adverted = True
+        region = self.device.register_memory_now(
+            max(request.nbytes, 1), self.ptag, rma_write=True
+        )
+        request.rma_region = region
+        self.rendezvous_recvs[request.req_id] = request
+        channel.outstanding_adverts.append(request, 0, request.tag,
+                                           request.context)
+        self.stats["adverts_sent"] += 1
+        yield from self._send_ctrl(channel, Envelope(
+            MsgType.ADVERT, self.rank, request.tag, request.context,
+            request.nbytes, recv_id=request.req_id,
+            remote_addr=region.addr,
+        ))
+
+    def _complete_recv(self, request: RecvRequest,
+                       envelope: Envelope) -> None:
+        request.received_bytes = envelope.nbytes
+        request.received_data = envelope.data
+        request.received_src = envelope.src_rank
+        request.received_tag = envelope.tag
+        self.rendezvous_recvs.pop(request.req_id, None)
+        region = getattr(request, "rma_region", None)
+        if region is not None:
+            # Registration-cache style: unpin the landing buffer.
+            self.device.memory.deregister(region)
+            request.rma_region = None
+        request.succeed(request)
+
+    # ------------------------------------------------------------------
+    # Progress: drain VIA receive completions.
+    # ------------------------------------------------------------------
+    def _progress(self):
+        while True:
+            vi, _queue, descriptor = yield from self.recv_cq.wait()
+            channel = self._vi_to_channel.get(vi.vi_id)
+            if channel is None:
+                raise MessagingError(
+                    f"rank {self.rank}: completion on unknown VI "
+                    f"{vi.vi_id}"
+                )
+            envelope: Envelope = descriptor.received_payload
+            if envelope is None:
+                raise MessagingError(
+                    f"rank {self.rank}: completion without envelope"
+                )
+            channel.credit(envelope.data_tokens, envelope.ctrl_tokens)
+            handler = {
+                MsgType.EAGER: self._handle_eager,
+                MsgType.RMA_DATA: self._handle_rma_data,
+                MsgType.RTS: self._handle_rts,
+                MsgType.ADVERT: self._handle_advert,
+                MsgType.TOKENS: self._handle_tokens,
+            }[envelope.msg_type]
+            yield from handler(channel, envelope, descriptor)
+            self._maybe_return_tokens(channel)
+
+    def _handle_eager(self, channel: Channel, envelope: Envelope,
+                      descriptor: RecvDescriptor):
+        channel.stats["eager"] += 1
+        yield from self.device.host.cpu_work(self.params.match_cost,
+                                             PRIO_USER)
+        # Rendezvous-bound receives (adverted) only complete via their
+        # RMA; eager traffic matches the next unbound receive.
+        request = self.posted.pop_first_match_where(
+            envelope.src_rank, envelope.tag, envelope.context,
+            lambda req: not req.adverted,
+        )
+        if request is None:
+            # Buffer stays held (token not returned) until matched.
+            self._queue_unexpected(envelope, descriptor, channel)
+            return
+        if envelope.nbytes > request.nbytes:
+            request.fail(MessagingError(
+                f"message of {envelope.nbytes} bytes for receive of "
+                f"{request.nbytes}"
+            ))
+            return
+        yield from channel.data_vi.consume_recv_cost()
+        if envelope.nbytes:
+            yield from self.device.host.copy(envelope.nbytes, PRIO_USER)
+        self._complete_recv(request, envelope)
+        self._repost(channel, descriptor)
+
+    def _handle_rma_data(self, channel: Channel, envelope: Envelope,
+                         descriptor: RecvDescriptor):
+        channel.stats["rma"] += 1
+        request = self.rendezvous_recvs.pop(envelope.recv_id, None)
+        if request is not None:
+            channel.outstanding_adverts.remove(request)
+        if request is None or request.triggered:
+            # Stale advert: the receive completed some other way.  The
+            # payload re-enters matching as an unexpected message (no
+            # buffer held; a later match pays the copy).
+            self.stats["orphaned_rma"] += 1
+            self._queue_unexpected(envelope, None, channel)
+            self._repost(channel, descriptor)
+            return
+        self.posted.remove(request)
+        yield from channel.data_vi.consume_recv_cost()
+        unpack = getattr(request, "unpack_bytes", 0)
+        if unpack:
+            # Derived-datatype receive: scatter the contiguous landing
+            # buffer back into the strided user layout.
+            yield from self.device.host.copy(unpack, PRIO_USER)
+        self._complete_recv(request, envelope)
+        self._repost(channel, descriptor)
+
+    def _handle_rts(self, channel: Channel, envelope: Envelope,
+                    descriptor: RecvDescriptor):
+        """An in-band request-to-send: match like an eager arrival."""
+        yield from self.device.host.cpu_work(self.params.ctrl_cost,
+                                             PRIO_USER)
+        # RTS rides the data VI, so it recycles a *data* descriptor.
+        self._repost(channel, descriptor)
+        # Did this RTS cross an advert already in flight to its sender?
+        # FIFO pairing on both sides makes absorbing it here safe.
+        absorbed = channel.outstanding_adverts.pop_first_match(
+            0, envelope.tag, envelope.context
+        )
+        if absorbed is not None:
+            return
+        request = self.posted.pop_first_match_where(
+            envelope.src_rank, envelope.tag, envelope.context,
+            lambda req: not req.adverted,
+        )
+        if request is not None:
+            if envelope.nbytes > request.nbytes:
+                request.fail(MessagingError(
+                    f"RTS for {envelope.nbytes} bytes, receive of "
+                    f"{request.nbytes}"
+                ))
+                return
+            # Spawned: an advert may block on control tokens, and the
+            # progress loop must never block on flow control.
+            self.sim.spawn(self._advertise(channel, request),
+                           name=f"advert[{self.rank}]")
+            return
+        # No receive yet: the RTS queues exactly like an unexpected
+        # eager message, preserving unified arrival order.
+        self._queue_unexpected(envelope, None, channel)
+
+    def _handle_advert(self, channel: Channel, envelope: Envelope,
+                       descriptor: RecvDescriptor):
+        yield from self.device.host.cpu_work(self.params.ctrl_cost,
+                                             PRIO_USER)
+        self._repost(channel, descriptor, ctrl=True)
+        request = channel.pending_sends.pop_first_match_by_probe(
+            0, envelope.tag, envelope.context
+        )
+        if request is not None:
+            # Spawned: the RMA needs a data token and must not stall
+            # the progress loop while waiting for one.
+            self.sim.spawn(self._rma_write(channel, request, envelope),
+                           name=f"rma[{self.rank}]")
+        else:
+            channel.advert_queue.append(envelope, 0, envelope.tag,
+                                        envelope.context)
+
+    def _handle_tokens(self, channel: Channel, envelope: Envelope,
+                       descriptor: RecvDescriptor):
+        channel.stats["token_msgs"] += 1
+        yield from self.device.host.cpu_work(self.params.ctrl_cost,
+                                             PRIO_USER)
+        self._repost(channel, descriptor, ctrl=True)
+
+    def _queue_unexpected(self, envelope: Envelope, descriptor,
+                          channel: Channel) -> None:
+        self.stats["unexpected"] += 1
+        self.unexpected.append(
+            (envelope, descriptor, channel),
+            envelope.src_rank, envelope.tag, envelope.context,
+        )
+        waiters, self._probe_waiters = self._probe_waiters, []
+        for wake in waiters:
+            wake.succeed()
+
+    # ------------------------------------------------------------------
+    # Buffer recycling and credit return.
+    # ------------------------------------------------------------------
+    def _repost(self, channel: Channel, descriptor: RecvDescriptor,
+                ctrl: bool = False) -> None:
+        vi = channel.ctrl_vi if ctrl else channel.data_vi
+        vi.post_recv(RecvDescriptor(descriptor.region, descriptor.offset,
+                                    descriptor.nbytes))
+        if ctrl:
+            channel.owe_ctrl()
+        else:
+            channel.owe_data()
+
+    def _maybe_return_tokens(self, channel: Channel) -> None:
+        if channel.needs_explicit_return() and not channel.token_msg_pending:
+            # Spawned, and limited to one outstanding TOKENS message per
+            # channel: the progress loop must never block, and a flood
+            # of explicit returns would waste the reserve credits.
+            channel.token_msg_pending = True
+            self.sim.spawn(self._token_return(channel),
+                           name=f"tokens[{self.rank}]")
+
+    def _token_return(self, channel: Channel):
+        try:
+            yield from self._send_ctrl(
+                channel,
+                Envelope(MsgType.TOKENS, self.rank, 0, 0, 0),
+                is_token_msg=True,
+            )
+        finally:
+            channel.token_msg_pending = False
+
+
+def _noop(_descriptor) -> None:
+    """Discard a send completion (the request completed earlier)."""

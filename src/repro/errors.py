@@ -1,0 +1,92 @@
+"""Exception hierarchy for the repro package.
+
+All library errors derive from :class:`ReproError` so applications can
+catch everything from this package with one handler.  Layer-specific
+errors mirror the error surfaces of the real systems the paper used:
+VIA status codes, MPI error classes, and QMP status values.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SimulationError(ReproError):
+    """Errors raised by the discrete-event simulation kernel."""
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained while processes were still waiting."""
+
+
+class InterruptError(SimulationError):
+    """A process was interrupted while waiting on an event.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`repro.sim.Process.interrupt`.
+    """
+
+    def __init__(self, cause: object = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class ConfigurationError(ReproError):
+    """Invalid hardware/topology/cluster configuration."""
+
+
+class TopologyError(ReproError):
+    """Invalid coordinates, ranks, or dimensions for a topology."""
+
+
+class ViaError(ReproError):
+    """Base class for VIA-layer errors (mirrors VIP_* status codes)."""
+
+
+class ViaNotConnectedError(ViaError):
+    """Operation attempted on a VI that is not in the connected state."""
+
+
+class ViaDescriptorError(ViaError):
+    """Malformed or exhausted descriptor (e.g. receive queue empty)."""
+
+
+class ViaProtectionError(ViaError):
+    """RMA access outside a registered/enabled memory region."""
+
+
+class TcpError(ReproError):
+    """Errors from the TCP baseline stack."""
+
+
+class MessagingError(ReproError):
+    """Base class for the common messaging-core errors."""
+
+
+class FlowControlError(MessagingError):
+    """Credit/token accounting violated an invariant."""
+
+
+class MpiError(ReproError):
+    """MPI-level error (mirrors MPI error classes)."""
+
+    def __init__(self, message: str, error_class: str = "MPI_ERR_OTHER") -> None:
+        super().__init__(message)
+        self.error_class = error_class
+
+
+class TruncationError(MpiError):
+    """Received message longer than the posted receive buffer."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message, error_class="MPI_ERR_TRUNCATE")
+
+
+class QmpError(ReproError):
+    """QMP-level error (mirrors QMP_status_t)."""
+
+
+class BenchmarkError(ReproError):
+    """Benchmark harness failure (bad sweep, missing experiment id)."""

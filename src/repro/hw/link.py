@@ -1,0 +1,147 @@
+"""Full-duplex point-to-point GigE link model.
+
+A :class:`Link` joins two NIC ports with independent directional
+channels.  Transmitting a frame holds the direction's line for the
+serialization time of the full wire footprint (payload + protocol
+header + Ethernet overhead), then delivers the frame to the remote
+port after the propagation delay.  Because each direction is a
+dedicated resource, full-duplex traffic never self-interferes — which
+is exactly the property that makes the mesh's aggregated-bandwidth
+numbers possible.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, TYPE_CHECKING
+
+from repro.errors import ConfigurationError
+from repro.sim import Resource, Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hw.nic import GigEPort
+
+_frame_ids = itertools.count()
+
+
+@dataclass
+class Frame:
+    """One Ethernet frame's worth of protocol traffic.
+
+    ``payload`` is an arbitrary protocol object (a VIA packet, a TCP
+    segment); the byte counts drive the timing model.
+
+    Attributes
+    ----------
+    payload_bytes:
+        User-data bytes carried in this frame.
+    header_bytes:
+        Protocol header bytes inside the Ethernet payload (VIA or
+        TCP/IP headers), excluded from user-payload accounting but
+        serialized on the wire.
+    payload:
+        The protocol object.
+    kind:
+        Debug label ("via", "tcp", "ack", ...).
+    """
+
+    payload_bytes: int
+    header_bytes: int
+    payload: Any = None
+    kind: str = "data"
+    #: Invoked by the NIC once the frame has been DMA'd out of host
+    #: memory (VIA send-completion semantics: buffer reusable).
+    on_fetched: Optional[Callable[[], None]] = None
+    #: Set by fault injection: the frame was damaged on the wire.
+    corrupted: bool = False
+    frame_id: int = field(default_factory=lambda: next(_frame_ids))
+
+    def wire_bytes(self, frame_overhead: int, min_frame: int = 64) -> int:
+        """Total serialized bytes including Ethernet framing."""
+        body = self.payload_bytes + self.header_bytes
+        # Ethernet pads short frames to the 64-byte minimum
+        # (header 14 + body + FCS 4 >= 64).
+        padded = max(body, min_frame - 18)
+        return padded + frame_overhead
+
+
+class Link:
+    """A cable between two ports.
+
+    Ports attach with :meth:`attach`; side 0 and side 1 are symmetric.
+    """
+
+    def __init__(self, sim: Simulator, wire_rate: float,
+                 frame_overhead: int, propagation: float,
+                 name: str = "link",
+                 corrupt_every: Optional[int] = None) -> None:
+        if wire_rate <= 0:
+            raise ConfigurationError(f"wire rate must be > 0, got {wire_rate}")
+        if corrupt_every is not None and corrupt_every < 1:
+            raise ConfigurationError(
+                f"corrupt_every must be >= 1, got {corrupt_every}"
+            )
+        self.sim = sim
+        self.wire_rate = wire_rate
+        self.frame_overhead = frame_overhead
+        self.propagation = propagation
+        self.name = name
+        #: Fault injection: damage every Nth frame per direction
+        #: (deterministic, so tests and reruns reproduce exactly).
+        self.corrupt_every = corrupt_every
+        self._lines = (
+            Resource(sim, 1, name=f"{name}:0->1"),
+            Resource(sim, 1, name=f"{name}:1->0"),
+        )
+        self._ports: list = [None, None]
+        self.stats = {"frames": [0, 0], "bytes": [0, 0],
+                      "corrupted": [0, 0]}
+
+    def attach(self, side: int, port: "GigEPort") -> None:
+        """Connect ``port`` at ``side`` (0 or 1)."""
+        if side not in (0, 1):
+            raise ConfigurationError(f"link side must be 0 or 1, got {side}")
+        if self._ports[side] is not None:
+            raise ConfigurationError(f"{self.name} side {side} already attached")
+        self._ports[side] = port
+
+    def peer(self, side: int) -> "GigEPort":
+        port = self._ports[1 - side]
+        if port is None:
+            raise ConfigurationError(f"{self.name} side {1 - side} unattached")
+        return port
+
+    def serialization_time(self, frame: Frame) -> float:
+        return frame.wire_bytes(self.frame_overhead) / self.wire_rate
+
+    def transmit(self, side: int, frame: Frame):
+        """Process: serialize ``frame`` out of ``side``; deliver to peer.
+
+        Returns (via StopIteration) after serialization completes; the
+        delivery itself happens ``propagation`` later without blocking
+        the caller (the line is free for the next frame immediately).
+        """
+        peer = self.peer(side)
+        line = self._lines[side]
+        duration = self.serialization_time(frame)
+        req = line.request()
+        yield req
+        try:
+            yield self.sim.timeout(duration)
+            self.stats["frames"][side] += 1
+            self.stats["bytes"][side] += frame.payload_bytes
+            if (self.corrupt_every is not None
+                    and self.stats["frames"][side]
+                    % self.corrupt_every == 0):
+                frame.corrupted = True
+                self.stats["corrupted"][side] += 1
+        finally:
+            line.release(req)
+        self.sim.spawn(
+            self._deliver(peer, frame), name=f"{self.name}:deliver"
+        )
+
+    def _deliver(self, peer: "GigEPort", frame: Frame):
+        yield self.sim.timeout(self.propagation)
+        peer.frame_arrived(frame)

@@ -1,0 +1,49 @@
+"""An MPI 1.1-style message-passing library over the common core.
+
+This is the paper's second messaging system: "an implementation of MPI
+specification 1.1 offering wider capabilities to other applications"
+(section 1).  The API mirrors MPI's surface, adapted to the simulation
+world: operations that block are generator *processes* (``yield from
+comm.send(...)``), nonblocking operations return request handles that
+are themselves simulation events.
+
+Buffers are described by byte counts (or count x datatype); actual
+payloads ride along as optional Python objects — numpy arrays in the
+LQCD code — so reductions compute real values while the byte counts
+drive the timing model.
+"""
+
+from repro.mpi.datatypes import (
+    BYTE,
+    DOUBLE,
+    DOUBLE_COMPLEX,
+    FLOAT,
+    INT,
+    Datatype,
+)
+from repro.mpi.op import BAND, BOR, LAND, LOR, MAX, MIN, PROD, SUM, Op
+from repro.mpi.group import Group
+from repro.mpi.communicator import Communicator
+from repro.core.message import ANY_SOURCE, ANY_TAG
+
+__all__ = [
+    "Datatype",
+    "BYTE",
+    "INT",
+    "FLOAT",
+    "DOUBLE",
+    "DOUBLE_COMPLEX",
+    "Op",
+    "SUM",
+    "PROD",
+    "MAX",
+    "MIN",
+    "LAND",
+    "LOR",
+    "BAND",
+    "BOR",
+    "Group",
+    "Communicator",
+    "ANY_SOURCE",
+    "ANY_TAG",
+]

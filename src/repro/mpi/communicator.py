@@ -1,0 +1,366 @@
+"""The MPI communicator.
+
+A :class:`Communicator` binds a process group to a context (so traffic
+in different communicators never matches) and exposes point-to-point
+and collective operations.  Collective algorithms dispatch to the
+torus-aware implementations in :mod:`repro.collectives` when the
+communicator spans the whole mesh in rank order (the paper's case);
+sub-communicators fall back to generic binomial trees.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Optional, Sequence
+
+from repro.core.engine import MessagingEngine
+from repro.core.message import (
+    ANY_SOURCE,
+    ANY_TAG,
+    RecvRequest,
+    SendRequest,
+)
+from repro.errors import MpiError
+from repro.mpi.datatypes import BYTE, Datatype
+from repro.mpi.group import Group
+from repro.mpi.op import NULL, Op, SUM
+from repro.mpi.request import waitall
+from repro.topology.torus import Torus
+
+
+def _resolve_bytes(nbytes: Optional[int], count: Optional[int],
+                   datatype: Datatype) -> int:
+    if nbytes is None and count is None:
+        raise MpiError("specify nbytes or count")
+    if nbytes is not None and count is not None:
+        raise MpiError("specify nbytes or count, not both")
+    if nbytes is not None:
+        if nbytes < 0:
+            raise MpiError(f"negative message size {nbytes}")
+        return int(nbytes)
+    return datatype.bytes_for(count)
+
+
+class Communicator:
+    """One rank's handle on a communication context."""
+
+    def __init__(self, engine: MessagingEngine, group: Group,
+                 context: int, torus: Optional[Torus] = None) -> None:
+        if not group.contains(engine.rank):
+            raise MpiError(
+                f"engine rank {engine.rank} not in group {group.ranks()}"
+            )
+        self.engine = engine
+        self.group = group
+        self.context = context
+        self.rank = group.local_rank(engine.rank)
+        self.size = group.size
+        #: Mesh geometry, when the communicator maps 1:1 onto the torus.
+        self.torus = torus
+        self._derived = itertools.count(1)
+
+    # -- contexts ----------------------------------------------------------
+    @property
+    def _pt2pt_context(self) -> int:
+        return 2 * self.context
+
+    @property
+    def _coll_context(self) -> int:
+        return 2 * self.context + 1
+
+    def _world(self, rank: int) -> int:
+        if rank == ANY_SOURCE:
+            return ANY_SOURCE
+        return self.group.world_rank(rank)
+
+    @property
+    def is_whole_torus(self) -> bool:
+        """True when ranks are the identity map onto the mesh."""
+        return (
+            self.torus is not None
+            and self.size == self.torus.size
+            and self.group.ranks() == tuple(range(self.size))
+        )
+
+    # -- point-to-point ----------------------------------------------------
+    def isend(self, dest: int, tag: int = 0, nbytes: Optional[int] = None,
+              count: Optional[int] = None, datatype: Datatype = BYTE,
+              data: Any = None) -> SendRequest:
+        """MPI_Isend (returns immediately with a request handle).
+
+        Non-contiguous (derived) datatypes pay a packing copy before
+        the data hits the wire.
+        """
+        size = _resolve_bytes(nbytes, count, datatype)
+        pack = datatype.pack_bytes_for(count) if count is not None else 0
+        return self.engine.isend(self._world(dest), tag,
+                                 self._pt2pt_context, size, data=data,
+                                 pack_bytes=pack)
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+              nbytes: Optional[int] = None, count: Optional[int] = None,
+              datatype: Datatype = BYTE) -> RecvRequest:
+        """MPI_Irecv (derived datatypes pay an unpacking copy)."""
+        size = _resolve_bytes(nbytes, count, datatype)
+        pack = datatype.pack_bytes_for(count) if count is not None else 0
+        return self.engine.irecv(self._world(source), tag,
+                                 self._pt2pt_context, size,
+                                 unpack_bytes=pack)
+
+    def issend(self, dest: int, tag: int = 0,
+               nbytes: Optional[int] = None,
+               count: Optional[int] = None, datatype: Datatype = BYTE,
+               data: Any = None) -> SendRequest:
+        """MPI_Issend: completes only once the receiver has matched."""
+        size = _resolve_bytes(nbytes, count, datatype)
+        return self.engine.isend(self._world(dest), tag,
+                                 self._pt2pt_context, size, data=data,
+                                 synchronous=True)
+
+    def ssend(self, dest: int, tag: int = 0, nbytes: Optional[int] = None,
+              count: Optional[int] = None, datatype: Datatype = BYTE,
+              data: Any = None):
+        """Process: MPI_Ssend (blocking synchronous send)."""
+        request = self.issend(dest, tag, nbytes, count, datatype, data)
+        yield from request.wait()
+        return request
+
+    def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        """MPI_Iprobe: (source, tag, nbytes) of the first matching
+        queued message, or None."""
+        envelope = self.engine.iprobe(self._world(source), tag,
+                                      self._pt2pt_context)
+        if envelope is None:
+            return None
+        return (self.group.local_rank(envelope.src_rank),
+                envelope.tag, envelope.nbytes)
+
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        """Process: MPI_Probe — block until a matching message is
+        queued; returns (source, tag, nbytes) without consuming it."""
+        envelope = yield from self.engine.probe(
+            self._world(source), tag, self._pt2pt_context
+        )
+        return (self.group.local_rank(envelope.src_rank),
+                envelope.tag, envelope.nbytes)
+
+    def send(self, dest: int, tag: int = 0, nbytes: Optional[int] = None,
+             count: Optional[int] = None, datatype: Datatype = BYTE,
+             data: Any = None):
+        """Process: MPI_Send (blocking)."""
+        request = self.isend(dest, tag, nbytes, count, datatype, data)
+        yield from request.wait()
+        return request
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+             nbytes: Optional[int] = None, count: Optional[int] = None,
+             datatype: Datatype = BYTE):
+        """Process: MPI_Recv; returns the completed RecvRequest."""
+        request = self.irecv(source, tag, nbytes, count, datatype)
+        yield from request.wait()
+        return request
+
+    def sendrecv(self, dest: int, source: int,
+                 send_nbytes: Optional[int] = None,
+                 recv_nbytes: Optional[int] = None,
+                 send_tag: int = 0, recv_tag: int = ANY_TAG,
+                 data: Any = None):
+        """Process: MPI_Sendrecv — concurrent send and receive."""
+        send_req = self.isend(dest, send_tag, send_nbytes, data=data)
+        recv_req = self.irecv(source, recv_tag, recv_nbytes)
+        yield from waitall([send_req, recv_req])
+        return recv_req
+
+    def send_init(self, dest: int, tag: int = 0,
+                  nbytes: Optional[int] = None,
+                  count: Optional[int] = None,
+                  datatype: Datatype = BYTE, data: Any = None):
+        """MPI_Send_init: a restartable persistent send."""
+        from repro.mpi.request import PersistentRequest
+
+        return PersistentRequest(
+            lambda: self.isend(dest, tag, nbytes, count, datatype, data)
+        )
+
+    def recv_init(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+                  nbytes: Optional[int] = None,
+                  count: Optional[int] = None,
+                  datatype: Datatype = BYTE):
+        """MPI_Recv_init: a restartable persistent receive."""
+        from repro.mpi.request import PersistentRequest
+
+        return PersistentRequest(
+            lambda: self.irecv(source, tag, nbytes, count, datatype)
+        )
+
+    # -- internal pt2pt on the collective context -----------------------------
+    def coll_isend(self, dest: int, tag: int, nbytes: int,
+                   data: Any = None, route=None) -> SendRequest:
+        return self.engine.isend(self._world(dest), tag,
+                                 self._coll_context, nbytes, data=data,
+                                 route=route)
+
+    def coll_irecv(self, source: int, tag: int, nbytes: int) -> RecvRequest:
+        return self.engine.irecv(self._world(source), tag,
+                                 self._coll_context, nbytes)
+
+    # -- collectives ----------------------------------------------------------
+    def bcast(self, root: int = 0, nbytes: Optional[int] = None,
+              count: Optional[int] = None, datatype: Datatype = BYTE,
+              data: Any = None):
+        """Process: MPI_Bcast; returns the broadcast data."""
+        from repro.collectives import broadcast
+
+        size = _resolve_bytes(nbytes, count, datatype)
+        result = yield from broadcast.bcast(self, root, size, data)
+        return result
+
+    def reduce(self, root: int = 0, nbytes: Optional[int] = None,
+               count: Optional[int] = None, datatype: Datatype = BYTE,
+               op: Op = SUM, data: Any = None):
+        """Process: MPI_Reduce; root gets the combined value."""
+        from repro.collectives import reduce as reduce_mod
+
+        size = _resolve_bytes(nbytes, count, datatype)
+        result = yield from reduce_mod.reduce(self, root, size, op, data)
+        return result
+
+    def allreduce(self, nbytes: Optional[int] = None,
+                  count: Optional[int] = None, datatype: Datatype = BYTE,
+                  op: Op = SUM, data: Any = None):
+        """Process: MPI_Allreduce (the paper's global combining)."""
+        from repro.collectives import combine
+
+        size = _resolve_bytes(nbytes, count, datatype)
+        result = yield from combine.allreduce(self, size, op, data)
+        return result
+
+    def barrier(self):
+        """Process: MPI_Barrier = global combine with a null reduction
+        (paper section 5.2)."""
+        from repro.collectives import combine
+
+        yield from combine.allreduce(self, 0, NULL, None)
+
+    def scatter(self, root: int = 0, nbytes: Optional[int] = None,
+                count: Optional[int] = None, datatype: Datatype = BYTE,
+                data: Optional[Sequence[Any]] = None,
+                algorithm: str = "opt"):
+        """Process: one-to-all personalized communication.
+
+        ``algorithm`` selects the paper's ``"sdf"`` or ``"opt"``
+        scheduler (section 5.2).  Returns this rank's slice.
+        """
+        from repro.collectives import scatter as scatter_mod
+
+        size = _resolve_bytes(nbytes, count, datatype)
+        result = yield from scatter_mod.scatter(self, root, size, data,
+                                                algorithm=algorithm)
+        return result
+
+    def gather(self, root: int = 0, nbytes: Optional[int] = None,
+               count: Optional[int] = None, datatype: Datatype = BYTE,
+               data: Any = None, algorithm: str = "opt"):
+        """Process: all-to-one personalized (reverse of scatter)."""
+        from repro.collectives import gather as gather_mod
+
+        size = _resolve_bytes(nbytes, count, datatype)
+        result = yield from gather_mod.gather(self, root, size, data,
+                                              algorithm=algorithm)
+        return result
+
+    def allgather(self, nbytes: Optional[int] = None,
+                  count: Optional[int] = None, datatype: Datatype = BYTE,
+                  data: Any = None):
+        """Process: MPI_Allgather; returns the per-rank list."""
+        from repro.collectives import allgather as allgather_mod
+
+        size = _resolve_bytes(nbytes, count, datatype)
+        result = yield from allgather_mod.allgather(self, size, data)
+        return result
+
+    def scatterv(self, root: int = 0, sizes: Optional[Sequence[int]] = None,
+                 data: Optional[Sequence[Any]] = None,
+                 algorithm: str = "opt"):
+        """Process: MPI_Scatterv — per-destination byte counts."""
+        from repro.collectives import scatter as scatter_mod
+
+        if sizes is None:
+            raise MpiError("scatterv requires per-rank sizes")
+        result = yield from scatter_mod.scatter(self, root, list(sizes),
+                                                data,
+                                                algorithm=algorithm)
+        return result
+
+    def gatherv(self, root: int = 0, sizes: Optional[Sequence[int]] = None,
+                data: Any = None, algorithm: str = "opt"):
+        """Process: MPI_Gatherv — per-source byte counts."""
+        from repro.collectives import gather as gather_mod
+
+        if sizes is None:
+            raise MpiError("gatherv requires per-rank sizes")
+        result = yield from gather_mod.gather(self, root, list(sizes),
+                                              data, algorithm=algorithm)
+        return result
+
+    def scan(self, nbytes: Optional[int] = None,
+             count: Optional[int] = None, datatype: Datatype = BYTE,
+             op: Op = SUM, data: Any = None):
+        """Process: MPI_Scan (inclusive prefix reduction)."""
+        from repro.collectives import scan as scan_mod
+
+        size = _resolve_bytes(nbytes, count, datatype)
+        result = yield from scan_mod.scan(self, size, op, data)
+        return result
+
+    def reduce_scatter(self, nbytes: Optional[int] = None,
+                       count: Optional[int] = None,
+                       datatype: Datatype = BYTE, op: Op = SUM,
+                       data: Optional[Sequence[Any]] = None):
+        """Process: MPI_Reduce_scatter (equal block sizes)."""
+        from repro.collectives import scan as scan_mod
+
+        size = _resolve_bytes(nbytes, count, datatype)
+        result = yield from scan_mod.reduce_scatter(self, size, op,
+                                                    data)
+        return result
+
+    def alltoall(self, nbytes: Optional[int] = None,
+                 count: Optional[int] = None, datatype: Datatype = BYTE,
+                 data: Optional[Sequence[Any]] = None):
+        """Process: all-to-all personalized = parallel one-to-all from
+        every node (paper section 5.2)."""
+        from repro.collectives import alltoall as alltoall_mod
+
+        size = _resolve_bytes(nbytes, count, datatype)
+        result = yield from alltoall_mod.alltoall(self, size, data)
+        return result
+
+    # -- communicator management ---------------------------------------------
+    def dup(self) -> "Communicator":
+        """MPI_Comm_dup (same group, fresh context).
+
+        Deterministic context derivation keeps ranks consistent as long
+        as every rank performs communicator operations in the same
+        order — which MPI requires anyway.
+        """
+        return Communicator(self.engine, self.group,
+                            self.context * 64 + next(self._derived),
+                            torus=self.torus)
+
+    def create(self, ranks: Sequence[int]) -> Optional["Communicator"]:
+        """MPI_Comm_create over a subset of *this* communicator's ranks.
+
+        Returns None on ranks outside the new group.
+        """
+        new_group = self.group.subset(ranks)
+        context = self.context * 64 + next(self._derived)
+        if not new_group.contains(self.engine.rank):
+            return None
+        return Communicator(self.engine, new_group, context, torus=None)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"Communicator(rank={self.rank}/{self.size}, "
+            f"context={self.context})"
+        )

@@ -1,0 +1,104 @@
+"""MPI datatypes: basic types plus derived (non-contiguous) layouts.
+
+Sizes drive the timing model; derived datatypes additionally model the
+*packing* cost — a non-contiguous buffer (e.g. a lattice boundary
+plane strided through the local volume) must be gathered into a
+contiguous staging buffer before it can hit the wire, which is a real
+memory copy the LQCD codes paid on every halo exchange.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MpiError
+
+
+@dataclass(frozen=True)
+class Datatype:
+    """An MPI basic datatype: a name and a byte extent."""
+
+    name: str
+    extent: int
+
+    def __post_init__(self) -> None:
+        if self.extent <= 0:
+            raise MpiError(f"datatype {self.name} extent must be positive")
+
+    def bytes_for(self, count: int) -> int:
+        if count < 0:
+            raise MpiError(f"negative element count {count}")
+        return count * self.extent
+
+    @property
+    def contiguous(self) -> bool:
+        return True
+
+    def pack_bytes_for(self, count: int) -> int:
+        """Bytes that must be copied to pack ``count`` elements
+        (zero for contiguous layouts)."""
+        return 0
+
+    # -- derived-type constructors (MPI_Type_*) ---------------------------
+    def vector(self, blocks: int, blocklength: int,
+               stride: int) -> "VectorDatatype":
+        """MPI_Type_vector: ``blocks`` blocks of ``blocklength``
+        elements, block starts ``stride`` elements apart."""
+        return VectorDatatype(self, blocks, blocklength, stride)
+
+    def contiguous_type(self, count: int) -> "Datatype":
+        """MPI_Type_contiguous."""
+        return Datatype(f"{self.name}[{count}]", self.extent * count)
+
+
+@dataclass(frozen=True)
+class VectorDatatype(Datatype):
+    """A strided (non-contiguous) layout over a base datatype.
+
+    One element of this type covers ``blocks * blocklength`` base
+    elements of payload spread over ``(blocks-1)*stride + blocklength``
+    base extents of memory; sending it packs the payload first.
+    """
+
+    base: Datatype = None  # type: ignore[assignment]
+    blocks: int = 1
+    blocklength: int = 1
+    stride: int = 1
+
+    def __init__(self, base: Datatype, blocks: int, blocklength: int,
+                 stride: int) -> None:
+        if blocks < 1 or blocklength < 1:
+            raise MpiError("vector blocks/blocklength must be >= 1")
+        if stride < blocklength:
+            raise MpiError(
+                f"vector stride {stride} overlaps blocks of "
+                f"{blocklength}"
+            )
+        payload = base.extent * blocks * blocklength
+        object.__setattr__(self, "name",
+                           f"vector({base.name},{blocks},"
+                           f"{blocklength},{stride})")
+        object.__setattr__(self, "extent", payload)
+        object.__setattr__(self, "base", base)
+        object.__setattr__(self, "blocks", blocks)
+        object.__setattr__(self, "blocklength", blocklength)
+        object.__setattr__(self, "stride", stride)
+
+    @property
+    def contiguous(self) -> bool:
+        return self.blocks == 1 or self.stride == self.blocklength
+
+    def pack_bytes_for(self, count: int) -> int:
+        if self.contiguous:
+            return 0
+        return self.bytes_for(count)
+
+
+BYTE = Datatype("MPI_BYTE", 1)
+CHAR = Datatype("MPI_CHAR", 1)
+INT = Datatype("MPI_INT", 4)
+LONG = Datatype("MPI_LONG", 8)
+FLOAT = Datatype("MPI_FLOAT", 4)
+DOUBLE = Datatype("MPI_DOUBLE", 8)
+FLOAT_COMPLEX = Datatype("MPI_COMPLEX", 8)
+DOUBLE_COMPLEX = Datatype("MPI_DOUBLE_COMPLEX", 16)

@@ -1,0 +1,49 @@
+"""MPI process groups: ordered sets of world ranks."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.errors import MpiError
+
+
+class Group:
+    """An ordered list of distinct world ranks."""
+
+    def __init__(self, world_ranks: Sequence[int]) -> None:
+        ranks = list(world_ranks)
+        if len(set(ranks)) != len(ranks):
+            raise MpiError("group contains duplicate ranks")
+        self._ranks: List[int] = ranks
+        self._index = {world: local for local, world in enumerate(ranks)}
+
+    @property
+    def size(self) -> int:
+        return len(self._ranks)
+
+    def world_rank(self, local: int) -> int:
+        if not 0 <= local < self.size:
+            raise MpiError(f"group rank {local} out of range [0, {self.size})")
+        return self._ranks[local]
+
+    def local_rank(self, world: int) -> int:
+        try:
+            return self._index[world]
+        except KeyError:
+            raise MpiError(f"world rank {world} not in group") from None
+
+    def contains(self, world: int) -> bool:
+        return world in self._index
+
+    def ranks(self) -> Tuple[int, ...]:
+        return tuple(self._ranks)
+
+    def subset(self, locals_: Iterable[int]) -> "Group":
+        """MPI_Group_incl."""
+        return Group([self.world_rank(i) for i in locals_])
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Group({self._ranks})"

@@ -1,0 +1,49 @@
+"""MPI reduction operations.
+
+Each op carries a binary ``combine`` function applied to the payload
+objects (numpy-aware: the functions work element-wise on arrays and on
+plain scalars alike).  ``None`` payloads are treated as identity-less:
+combining with None returns the other operand, which lets timing-only
+benchmarks run reductions without materializing data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+
+def _lift(fn: Callable[[Any, Any], Any]) -> Callable[[Any, Any], Any]:
+    def combined(a: Any, b: Any) -> Any:
+        if a is None:
+            return b
+        if b is None:
+            return a
+        return fn(a, b)
+    return combined
+
+
+@dataclass(frozen=True)
+class Op:
+    """A named, commutative reduction operator."""
+
+    name: str
+    combine: Callable[[Any, Any], Any]
+
+    def __call__(self, a: Any, b: Any) -> Any:
+        return self.combine(a, b)
+
+
+SUM = Op("MPI_SUM", _lift(lambda a, b: np.add(a, b)))
+PROD = Op("MPI_PROD", _lift(lambda a, b: np.multiply(a, b)))
+MAX = Op("MPI_MAX", _lift(lambda a, b: np.maximum(a, b)))
+MIN = Op("MPI_MIN", _lift(lambda a, b: np.minimum(a, b)))
+LAND = Op("MPI_LAND", _lift(lambda a, b: np.logical_and(a, b)))
+LOR = Op("MPI_LOR", _lift(lambda a, b: np.logical_or(a, b)))
+BAND = Op("MPI_BAND", _lift(lambda a, b: np.bitwise_and(a, b)))
+BOR = Op("MPI_BOR", _lift(lambda a, b: np.bitwise_or(a, b)))
+
+#: Null reduction: used by barrier (global combine with no data).
+NULL = Op("MPI_OP_NULL", _lift(lambda a, b: a))

@@ -1,0 +1,71 @@
+"""Request-completion helpers (MPI_Wait / MPI_Waitall / MPI_Test)."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.message import Request
+from repro.sim import AllOf
+
+
+def wait(request: Request):
+    """Process: MPI_Wait."""
+    result = yield from request.wait()
+    return result
+
+
+def waitall(requests: Iterable[Request]):
+    """Process: MPI_Waitall — block until every request completes."""
+    pending = [r for r in requests if not r.triggered]
+    if pending:
+        yield AllOf(pending[0].sim, pending)
+    return None
+
+
+def test(request: Request) -> bool:
+    """MPI_Test: has the request completed? (no blocking)."""
+    return request.triggered
+
+
+class PersistentRequest:
+    """MPI_Send_init / MPI_Recv_init style persistent operation.
+
+    Captures the operation's arguments once; each :meth:`start` issues
+    a fresh underlying request (the real optimization — argument
+    validation and setup amortized — is modeled by the QMP layer's
+    declared channels; here the value is API fidelity)::
+
+        req = comm.send_init(dest=1, tag=9, nbytes=1024)
+        for _ in range(iters):
+            req.start()
+            yield from req.wait()
+    """
+
+    def __init__(self, issue) -> None:
+        self._issue = issue
+        self._active: Request | None = None
+
+    @property
+    def active(self) -> bool:
+        return self._active is not None and not self._active.triggered
+
+    def start(self) -> Request:
+        """MPI_Start: launch one instance of the operation."""
+        if self.active:
+            raise RuntimeError(
+                "persistent request started while still active"
+            )
+        self._active = self._issue()
+        return self._active
+
+    def wait(self):
+        """Process: wait for the active instance; returns its value."""
+        if self._active is None:
+            raise RuntimeError("persistent request not started")
+        result = yield from self._active.wait()
+        return result
+
+    @property
+    def request(self) -> Request | None:
+        """The most recent underlying request (for received_* fields)."""
+        return self._active

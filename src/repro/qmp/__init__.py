@@ -1,0 +1,19 @@
+"""QMP — the QCD Message Passing API (paper section 5).
+
+QMP is the paper's domain-specific messaging system: "a subset of
+functionalities of MPI" focused on what Lattice QCD codes need —
+logical mesh topology queries, declared (persistent) nearest-neighbor
+message channels, and global reductions.  It shares the messaging core
+with the MPI implementation, so the two "perform the same on key
+benchmarks" by construction here too.
+
+The API mirrors the real libqmp's C surface in pythonic form:
+``declare_msgmem`` / ``declare_send_relative`` /
+``declare_receive_relative`` / ``start`` / ``wait`` plus
+``sum_double``, ``max_double``, ``broadcast`` and ``barrier``.
+"""
+
+from repro.qmp.api import QMPMachine
+from repro.qmp.msgmem import MsgMem, MsgHandle, MultiHandle
+
+__all__ = ["QMPMachine", "MsgMem", "MsgHandle", "MultiHandle"]

@@ -1,0 +1,84 @@
+"""QMP message-memory and message-handle objects.
+
+In real QMP, applications *declare* message memory and directional
+channels once, then ``QMP_start``/``QMP_wait`` them every iteration —
+persistent communication, which is how LQCD halo exchanges amortize
+setup.  These classes model those declared objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List
+
+from repro.errors import QmpError
+
+
+@dataclass
+class MsgMem:
+    """Declared message memory: a byte extent plus optional payload."""
+
+    nbytes: int
+    data: Any = None
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise QmpError(f"negative msgmem size {self.nbytes}")
+
+
+class MsgHandle:
+    """A declared directional send or receive channel.
+
+    Created by :meth:`QMPMachine.declare_send_relative` or
+    :meth:`QMPMachine.declare_receive_relative`; restartable.
+    """
+
+    def __init__(self, machine, msgmem: MsgMem, axis: int, sign: int,
+                 is_send: bool) -> None:
+        self.machine = machine
+        self.msgmem = msgmem
+        self.axis = axis
+        self.sign = sign
+        self.is_send = is_send
+        #: Fixed peer for point-to-point declared channels (axis < 0).
+        self.peer_rank = None
+        self._request = None
+
+    @property
+    def started(self) -> bool:
+        return self._request is not None
+
+    def start(self) -> None:
+        """QMP_start: launch the declared operation (non-blocking)."""
+        if self._request is not None:
+            raise QmpError("handle already started; wait() it first")
+        self._request = self.machine._start_handle(self)
+
+    def wait(self):
+        """Process: QMP_wait — block until the operation completes."""
+        if self._request is None:
+            raise QmpError("handle not started")
+        request = self._request
+        yield from request.wait()
+        self._request = None
+        if not self.is_send:
+            self.msgmem.data = request.received_data
+        return self.msgmem.data
+
+
+class MultiHandle:
+    """QMP_declare_multiple: start/wait a set of handles together."""
+
+    def __init__(self, handles: List[MsgHandle]) -> None:
+        if not handles:
+            raise QmpError("empty multi-handle")
+        self.handles = list(handles)
+
+    def start(self) -> None:
+        for handle in self.handles:
+            handle.start()
+
+    def wait(self):
+        """Process: wait for every constituent handle."""
+        for handle in self.handles:
+            yield from handle.wait()

@@ -1,0 +1,145 @@
+"""The simulator event loop.
+
+The scheduler is a binary heap of ``(time, priority, sequence, event)``
+tuples.  The monotone ``sequence`` counter makes same-time same-priority
+ordering FIFO, so the whole simulation is deterministic — a hard
+requirement for reproducing the paper's tables bit-for-bit across runs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Optional
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim.events import Event, NORMAL, Timeout
+from repro.sim.process import Process
+
+
+class Simulator:
+    """Owns the clock and the event queue.
+
+    Parameters
+    ----------
+    trace:
+        Optional :class:`repro.sim.monitor.Trace` receiving a record per
+        processed event (cheap to leave off; benchmarks run untraced).
+    """
+
+    def __init__(self, trace: Optional["Trace"] = None) -> None:
+        self._now = 0.0
+        self._queue: list = []
+        self._sequence = 0
+        self._active_process: Optional[Process] = None
+        self.trace = trace
+        self._crashed: list = []
+
+    # -- clock ------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in microseconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # -- scheduling ---------------------------------------------------------
+    def schedule(self, event: Event, delay: float = 0.0,
+                 priority: int = NORMAL) -> None:
+        """Queue ``event`` for processing at ``now + delay``."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past ({delay})")
+        self._sequence += 1
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, self._sequence, event)
+        )
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that fires ``delay`` microseconds from now."""
+        return Timeout(self, delay, value=value)
+
+    def event(self, name: str = "") -> Event:
+        """A fresh untriggered event."""
+        return Event(self, name=name)
+
+    def spawn(self, generator: Generator, name: str = "") -> Process:
+        """Start a new process running ``generator``."""
+        return Process(self, generator, name=name)
+
+    # -- execution ----------------------------------------------------------
+    def step(self) -> float:
+        """Process one event; returns its timestamp."""
+        if not self._queue:
+            raise DeadlockError("event queue empty")
+        when, _priority, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        if self.trace is not None:
+            self.trace.record(when, event)
+        event._process()
+        if self._crashed:
+            process, exc = self._crashed.pop()
+            exc.add_note(
+                f"(unhandled in process {process.name!r} at "
+                f"t={when:.3f}us)"
+            )
+            raise exc
+        return when
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the queue drains or the clock passes ``until``.
+
+        Returns the final simulated time.  With ``until`` set, the clock
+        is advanced exactly to ``until`` even if no event lands there.
+        """
+        if until is not None and until < self._now:
+            raise SimulationError(
+                f"until={until} is before now={self._now}"
+            )
+        while self._queue:
+            when = self._queue[0][0]
+            if until is not None and when > until:
+                self._now = until
+                return self._now
+            self.step()
+        if until is not None:
+            self._now = until
+        return self._now
+
+    def run_until_complete(self, process: Process,
+                           limit: Optional[float] = None) -> Any:
+        """Run until ``process`` finishes; return its value.
+
+        Raises :class:`DeadlockError` if the queue drains first and
+        :class:`SimulationError` if ``limit`` is exceeded.
+        """
+        while not process.triggered:
+            if not self._queue:
+                raise DeadlockError(
+                    f"simulation deadlocked waiting for {process.name!r} "
+                    f"at t={self._now:.3f}us"
+                )
+            if limit is not None and self._queue[0][0] > limit:
+                raise SimulationError(
+                    f"{process.name!r} did not finish by t={limit}us"
+                )
+            self.step()
+        # Drain same-time bookkeeping? No: caller decides. Just report.
+        if not process.ok:
+            raise process.value
+        return process.value
+
+    def peek(self) -> float:
+        """Timestamp of the next event, or +inf if the queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    @property
+    def queue_length(self) -> int:
+        """Number of scheduled-but-unprocessed events."""
+        return len(self._queue)
+
+    # -- crash plumbing -------------------------------------------------------
+    def _crash(self, process: Process, exc: BaseException) -> None:
+        """Record an unhandled process failure; re-raised by step()."""
+        self._crashed.append((process, exc))

@@ -1,0 +1,114 @@
+"""Tracing and measurement instrumentation for simulations.
+
+A :class:`Trace` attached to a simulator records every processed event;
+:class:`Probe` accumulates named samples (latency observations,
+bandwidth points) with summary statistics.  Both are deliberately
+allocation-light so they can stay attached during benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One processed event: (timestamp, event name, event type)."""
+
+    time: float
+    name: str
+    kind: str
+
+
+class Trace:
+    """Ring-buffer event trace.
+
+    Parameters
+    ----------
+    limit:
+        Keep only the last ``limit`` records (None = unbounded).
+    """
+
+    def __init__(self, limit: Optional[int] = None) -> None:
+        self.limit = limit
+        self.records: List[TraceRecord] = []
+
+    def record(self, time: float, event: Any) -> None:
+        self.records.append(
+            TraceRecord(time, getattr(event, "name", ""), type(event).__name__)
+        )
+        if self.limit is not None and len(self.records) > self.limit:
+            del self.records[: len(self.records) - self.limit]
+
+    def filter(self, substring: str) -> List[TraceRecord]:
+        """Records whose name contains ``substring``."""
+        return [r for r in self.records if substring in r.name]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+@dataclass
+class SampleStats:
+    """Streaming summary statistics over float samples (Welford)."""
+
+    count: int = 0
+    mean: float = 0.0
+    _m2: float = 0.0
+    minimum: float = math.inf
+    maximum: float = -math.inf
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def variance(self) -> float:
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def stdev(self) -> float:
+        return math.sqrt(self.variance)
+
+
+class Probe:
+    """Named sample accumulator for simulation measurements."""
+
+    def __init__(self) -> None:
+        self._stats: Dict[str, SampleStats] = {}
+        self._samples: Dict[str, List[float]] = {}
+
+    def observe(self, name: str, value: float, keep: bool = False) -> None:
+        """Record one sample under ``name``.
+
+        ``keep=True`` retains the raw sample (for percentiles); summary
+        statistics are always maintained.
+        """
+        stats = self._stats.get(name)
+        if stats is None:
+            stats = self._stats[name] = SampleStats()
+        stats.add(value)
+        if keep:
+            self._samples.setdefault(name, []).append(value)
+
+    def stats(self, name: str) -> SampleStats:
+        return self._stats[name]
+
+    def samples(self, name: str) -> List[float]:
+        return self._samples.get(name, [])
+
+    def names(self) -> List[str]:
+        return sorted(self._stats)
+
+    def mean(self, name: str) -> float:
+        return self._stats[name].mean

@@ -1,0 +1,172 @@
+"""Buffered item stores (bounded queues) for producer/consumer models.
+
+Descriptor rings, socket buffers and switch queues are all Stores: a
+``put`` blocks when the store is full (back-pressure) and a ``get``
+blocks when it is empty.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Optional, TYPE_CHECKING
+
+from repro.errors import SimulationError
+from repro.sim.events import Event, URGENT
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Simulator
+
+
+class StorePut(Event):
+    """Event returned by :meth:`Store.put`; fires when the item is in."""
+
+    __slots__ = ("item",)
+
+    def __init__(self, store: "Store", item: Any) -> None:
+        super().__init__(store.sim, name=f"put:{store.name}")
+        self.item = item
+
+
+class StoreGet(Event):
+    """Event returned by :meth:`Store.get`; fires with the item."""
+
+    __slots__ = ("filter",)
+
+    def __init__(self, store: "Store",
+                 filter: Optional[Callable[[Any], bool]] = None) -> None:
+        super().__init__(store.sim, name=f"get:{store.name}")
+        self.filter = filter
+
+
+class Store:
+    """FIFO store with finite or infinite capacity."""
+
+    def __init__(self, sim: "Simulator", capacity: float = float("inf"),
+                 name: str = "store") -> None:
+        if capacity <= 0:
+            raise SimulationError(f"capacity must be positive, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self.items: deque = deque()
+        self._putters: deque = deque()
+        self._getters: deque = deque()
+        self.stats = {"puts": 0, "gets": 0, "max_level": 0}
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def level(self) -> int:
+        """Number of items currently stored."""
+        return len(self.items)
+
+    def put(self, item: Any) -> StorePut:
+        """Insert ``item``; the event fires once there is room."""
+        put_event = StorePut(self, item)
+        self._putters.append(put_event)
+        self._dispatch()
+        return put_event
+
+    def get(self) -> StoreGet:
+        """Remove the oldest item; the event fires with the item."""
+        get_event = StoreGet(self)
+        self._getters.append(get_event)
+        self._dispatch()
+        return get_event
+
+    def try_get(self) -> Any:
+        """Non-blocking get: the item, or None if empty.
+
+        Only safe when no getters are queued (otherwise it would jump
+        the line); raises in that case.
+        """
+        if self._getters:
+            raise SimulationError(f"try_get on {self.name!r} with waiters")
+        if not self.items:
+            return None
+        item = self.items.popleft()
+        self.stats["gets"] += 1
+        self._dispatch()
+        return item
+
+    # -- internals ----------------------------------------------------------
+    def _do_put(self, event: StorePut) -> bool:
+        if len(self.items) < self.capacity:
+            self.items.append(event.item)
+            self.stats["puts"] += 1
+            if len(self.items) > self.stats["max_level"]:
+                self.stats["max_level"] = len(self.items)
+            event.succeed(priority=URGENT)
+            return True
+        return False
+
+    def _do_get(self, event: StoreGet) -> bool:
+        if self.items:
+            self.stats["gets"] += 1
+            event.succeed(self.items.popleft(), priority=URGENT)
+            return True
+        return False
+
+    def _dispatch(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            while self._putters:
+                if self._do_put(self._putters[0]):
+                    self._putters.popleft()
+                    progress = True
+                else:
+                    break
+            while self._getters:
+                if self._do_get(self._getters[0]):
+                    self._getters.popleft()
+                    progress = True
+                else:
+                    break
+
+
+class FilterStore(Store):
+    """Store whose getters may select items with a predicate.
+
+    Used for receive-side message matching (match by tag/source).
+    Getters are served in FIFO order *per matching item*: a getter whose
+    filter matches nothing waits without blocking later getters.
+    """
+
+    def get(self, filter: Optional[Callable[[Any], bool]] = None) -> StoreGet:  # type: ignore[override]
+        get_event = StoreGet(self, filter=filter)
+        self._getters.append(get_event)
+        self._dispatch()
+        return get_event
+
+    def _do_get(self, event: StoreGet) -> bool:
+        if event.filter is None:
+            return super()._do_get(event)
+        for index, item in enumerate(self.items):
+            if event.filter(item):
+                del self.items[index]
+                self.stats["gets"] += 1
+                event.succeed(item, priority=URGENT)
+                return True
+        return False
+
+    def _dispatch(self) -> None:
+        # Unlike the FIFO store, a blocked getter must not stall the
+        # rest: scan all getters each round.
+        progress = True
+        while progress:
+            progress = False
+            while self._putters:
+                if self._do_put(self._putters[0]):
+                    self._putters.popleft()
+                    progress = True
+                else:
+                    break
+            satisfied = []
+            for index, getter in enumerate(self._getters):
+                if self._do_get(getter):
+                    satisfied.append(index)
+                    progress = True
+            for index in reversed(satisfied):
+                del self._getters[index]

@@ -1,0 +1,18 @@
+"""The TCP/IP baseline stack.
+
+The paper's TCP comparator is the stock RedHat 9 (kernel 2.4.20)
+network stack over the same Intel GigE adapters, with IP forwarding
+configured so a mesh works at all (the MPICH-P4 setup of section 1).
+This package models the parts of that stack that determine the
+measured curves: the extra user<->kernel copies, the per-segment
+protocol processing in process and softirq context, delayed ACKs, the
+send window, and per-packet interrupt costs — all on the same NIC/link
+models the VIA stack uses, so the comparison isolates exactly what the
+paper compared.
+"""
+
+from repro.tcpip.segment import TcpSegment
+from repro.tcpip.stack import TcpStack
+from repro.tcpip.socket import TcpSocket
+
+__all__ = ["TcpSegment", "TcpStack", "TcpSocket"]

@@ -1,0 +1,156 @@
+"""The OPT scatter algorithm's region partition (paper §5.2).
+
+The mesh is partitioned into (up to) ``2 * ndim`` roughly equal-size
+regions, one per link leaving the root.  Every node lands in a region
+whose link is the first hop of some *minimal* path from the root, so a
+message for that node leaves the root on its region's link and then
+travels within the region on a minimal route, never competing with
+traffic of other regions for the root's ports.
+
+The partition is computed greedily: nodes with fewer feasible regions
+are placed first, each into its currently smallest feasible region.
+For the symmetric tori the paper uses this yields regions balanced to
+within one node of ``(p - 1) / k``, which is what OPT's optimality
+bound ``T1 = ceil((p-1)/k)`` requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.errors import TopologyError
+from repro.topology.routing import (
+    RouteStep,
+    minimal_directions,
+    path_via_first_direction,
+)
+from repro.topology.torus import Direction, Torus
+
+
+@dataclass
+class OptPartition:
+    """Result of partitioning a torus around a root node.
+
+    Attributes
+    ----------
+    torus, root:
+        The geometry and the scatter root.
+    regions:
+        Mapping from root link direction to the sorted list of member
+        ranks.
+    region_of:
+        Mapping from rank to its region's direction (root excluded).
+    routes:
+        Mapping from rank to the full minimal route from the root that
+        starts with the region's link.
+    """
+
+    torus: Torus
+    root: int
+    regions: Dict[Direction, List[int]]
+    region_of: Dict[int, Direction]
+    routes: Dict[int, List[RouteStep]] = field(repr=False)
+
+    @property
+    def num_links(self) -> int:
+        return len(self.regions)
+
+    def max_region_size(self) -> int:
+        return max((len(m) for m in self.regions.values()), default=0)
+
+    def min_region_size(self) -> int:
+        return min((len(m) for m in self.regions.values()), default=0)
+
+    def imbalance(self) -> int:
+        """Difference between largest and smallest region."""
+        return self.max_region_size() - self.min_region_size()
+
+    def validate(self) -> None:
+        """Check the partition invariants; raises on violation."""
+        seen = set()
+        for direction, members in self.regions.items():
+            for rank in members:
+                if rank in seen:
+                    raise TopologyError(f"rank {rank} in two regions")
+                seen.add(rank)
+                route = self.routes[rank]
+                if not route or route[0].direction != direction:
+                    raise TopologyError(
+                        f"route of rank {rank} does not start on link "
+                        f"{direction}"
+                    )
+                if len(route) != self.torus.distance(self.root, rank):
+                    raise TopologyError(
+                        f"route of rank {rank} is not minimal"
+                    )
+        expected = set(self.torus.ranks()) - {self.root}
+        if seen != expected:
+            raise TopologyError(
+                f"partition covers {len(seen)} nodes, expected {len(expected)}"
+            )
+
+
+def partition_regions(torus: Torus, root: int) -> OptPartition:
+    """Partition all non-root nodes into per-link regions (OPT §5.2)."""
+    if not 0 <= root < torus.size:
+        raise TopologyError(f"root {root} out of range for {torus!r}")
+    directions = [
+        d for d in torus.directions() if torus.has_neighbor(root, d)
+    ]
+    if not directions and torus.size > 1:
+        raise TopologyError(f"root {root} has no links in {torus!r}")
+
+    # Feasible regions per node: first-step directions of minimal paths.
+    candidates: Dict[int, List[Direction]] = {}
+    for rank in torus.ranks():
+        if rank == root:
+            continue
+        dirs = [
+            d for d in minimal_directions(torus, root, rank)
+            if torus.has_neighbor(root, d)
+        ]
+        if not dirs:  # pragma: no cover - connected torus always has one
+            raise TopologyError(f"no minimal first step from {root} to {rank}")
+        candidates[rank] = dirs
+
+    # Greedy balanced assignment: most-constrained nodes first; among
+    # equally constrained, place far nodes first (they anchor the
+    # furthest-distance-first streamlines).
+    order = sorted(
+        candidates,
+        key=lambda r: (len(candidates[r]), -torus.distance(root, r), r),
+    )
+    regions: Dict[Direction, List[int]] = {d: [] for d in directions}
+    region_of: Dict[int, Direction] = {}
+    for rank in order:
+        best = min(candidates[rank], key=lambda d: (len(regions[d]), d))
+        regions[best].append(rank)
+        region_of[rank] = best
+
+    routes = {
+        rank: path_via_first_direction(torus, root, rank, direction)
+        for rank, direction in region_of.items()
+    }
+    for members in regions.values():
+        members.sort()
+    partition = OptPartition(torus, root, regions, region_of, routes)
+    partition.validate()
+    return partition
+
+
+def region_send_order(partition: OptPartition) -> Dict[Direction, List[int]]:
+    """Furthest-Distance-First send order per region (paper §5.2).
+
+    Within a region the root sends the message with the longest
+    remaining distance first so messages stream behind each other
+    without overtaking; ties break by rank for determinism.
+    """
+    torus, root = partition.torus, partition.root
+    return {
+        direction: sorted(
+            members,
+            key=lambda r: (-torus.distance(root, r), r),
+        )
+        for direction, members in partition.regions.items()
+    }

@@ -1,0 +1,128 @@
+"""Minimal-path routing on the torus.
+
+The paper's kernel-level packet switch routes with a simple
+*Shortest-Direction-First* (SDF) rule: among the directions that lie on
+a minimal path, choose the one with the smallest number of remaining
+steps (§5.1).  These helpers are pure functions over
+:class:`~repro.topology.torus.Torus` geometry so both the packet switch
+model and the scatter algorithms share one implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import TopologyError
+from repro.topology.torus import Direction, Torus
+
+
+@dataclass(frozen=True)
+class RouteStep:
+    """One hop of a route: the node left, the direction taken."""
+
+    node: int
+    direction: Direction
+
+
+def torus_distance(torus: Torus, src: int, dst: int) -> int:
+    """Minimal hop count (paper's ``distance(i)`` in §5.2).
+
+    For a wrapped torus this is
+    ``sum_axis min(|d_a - s_a|, dim_a - |d_a - s_a|)``.
+    """
+    return torus.distance(src, dst)
+
+
+def minimal_directions(torus: Torus, src: int, dst: int) -> List[Direction]:
+    """Directions at ``src`` that lie on some minimal path to ``dst``.
+
+    At an exact half-ring displacement on a wrapped axis *both*
+    directions are minimal (the OPT partition exploits this freedom to
+    balance its regions).
+    """
+    out = []
+    for axis, delta in enumerate(torus.offset(src, dst)):
+        if delta == 0:
+            continue
+        sign = 1 if delta > 0 else -1
+        out.append(Direction(axis, sign))
+        extent = torus.dims[axis]
+        if torus.wrap and extent > 1 and 2 * abs(delta) == extent:
+            out.append(Direction(axis, -sign))
+    return out
+
+
+def sdf_next_direction(torus: Torus, src: int, dst: int,
+                       forbidden: Sequence[Direction] = ()) -> Optional[Direction]:
+    """Shortest-Direction-First choice at ``src`` toward ``dst``.
+
+    Among minimal-path directions (excluding ``forbidden``), picks the
+    axis with the *smallest* number of remaining steps, breaking ties by
+    lowest axis then positive sign — the deterministic tie-break the
+    rest of the package relies on.  Returns ``None`` when ``src == dst``
+    or every minimal direction is forbidden.
+    """
+    offset = torus.offset(src, dst)
+    best: Optional[Tuple[int, int, int]] = None
+    best_direction: Optional[Direction] = None
+    forbidden_set = set(forbidden)
+    for axis, delta in enumerate(offset):
+        if delta == 0:
+            continue
+        direction = Direction(axis, 1 if delta > 0 else -1)
+        if direction in forbidden_set:
+            continue
+        key = (abs(delta), axis, 0 if delta > 0 else 1)
+        if best is None or key < best:
+            best = key
+            best_direction = direction
+    return best_direction
+
+
+def sdf_path(torus: Torus, src: int, dst: int) -> List[RouteStep]:
+    """Full SDF route from ``src`` to ``dst`` (empty when equal).
+
+    The path length always equals ``torus.distance(src, dst)`` because
+    SDF only ever takes minimal-path directions.
+    """
+    steps: List[RouteStep] = []
+    node = src
+    # A minimal path can never exceed the diameter; guard against bugs.
+    for _ in range(torus.diameter() + 1):
+        if node == dst:
+            return steps
+        direction = sdf_next_direction(torus, node, dst)
+        if direction is None:  # pragma: no cover - defensive
+            raise TopologyError(f"SDF stuck at node {node} toward {dst}")
+        steps.append(RouteStep(node, direction))
+        node = torus.neighbor(node, direction)
+    raise TopologyError(
+        f"SDF route from {src} to {dst} exceeded diameter "
+        f"{torus.diameter()}"
+    )  # pragma: no cover - defensive
+
+
+def first_step_directions(torus: Torus, root: int, dst: int) -> List[Direction]:
+    """Directions in which a minimal path from ``root`` to ``dst`` may start.
+
+    This is the candidate set used by the OPT partition (§5.2): node
+    ``dst`` may be placed in any region whose root link is one of these.
+    """
+    return minimal_directions(torus, root, dst)
+
+
+def path_via_first_direction(torus: Torus, src: int, dst: int,
+                             first: Direction) -> List[RouteStep]:
+    """A minimal route that *starts* with ``first`` then follows SDF.
+
+    Raises :class:`TopologyError` if ``first`` is not on a minimal path.
+    """
+    if first not in minimal_directions(torus, src, dst):
+        raise TopologyError(
+            f"direction {first} not on a minimal path {src}->{dst}"
+        )
+    steps = [RouteStep(src, first)]
+    node = torus.neighbor(src, first)
+    steps.extend(sdf_path(torus, node, dst))
+    return steps

@@ -1,0 +1,72 @@
+"""Switched (full-bisection Clos) fabric geometry.
+
+The paper's Myrinet comparator is a 128-node cluster on a Myrinet 2000
+switch with a full-bisection Clos topology (§3).  For the Table 1
+experiment we only need its *behavioral* properties: every pair of
+hosts is connected through the fabric with a uniform small hop count,
+and the full bisection means no internal contention — only the
+endpoints' injection/ejection ports can saturate.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+from repro.errors import TopologyError
+
+
+class ClosFabric:
+    """A three-stage folded-Clos abstraction.
+
+    Parameters
+    ----------
+    num_hosts:
+        Number of attached hosts.
+    radix:
+        Switch element port count (Myrinet 2000 line cards were
+        16-port; the default mirrors that).
+    """
+
+    def __init__(self, num_hosts: int, radix: int = 16) -> None:
+        if num_hosts < 1:
+            raise TopologyError(f"need at least one host, got {num_hosts}")
+        if radix < 2:
+            raise TopologyError(f"radix must be >= 2, got {radix}")
+        self.num_hosts = num_hosts
+        self.radix = radix
+        #: Leaf switches, each serving radix/2 hosts (other half uplinks).
+        hosts_per_leaf = max(1, radix // 2)
+        self.num_leaves = math.ceil(num_hosts / hosts_per_leaf)
+        self.hosts_per_leaf = hosts_per_leaf
+
+    @property
+    def size(self) -> int:
+        return self.num_hosts
+
+    def leaf_of(self, host: int) -> int:
+        if not 0 <= host < self.num_hosts:
+            raise TopologyError(f"host {host} out of range")
+        return host // self.hosts_per_leaf
+
+    def switch_hops(self, src: int, dst: int) -> int:
+        """Number of switch elements traversed between two hosts.
+
+        Same leaf: one element.  Different leaves: leaf -> spine ->
+        leaf, i.e. three elements (full bisection guarantees a
+        non-blocking spine path).
+        """
+        if src == dst:
+            return 0
+        return 1 if self.leaf_of(src) == self.leaf_of(dst) else 3
+
+    def is_full_bisection(self) -> bool:
+        """The model assumes full bisection by construction."""
+        return True
+
+    def all_pairs_max_hops(self) -> int:
+        return 1 if self.num_leaves == 1 else 3
+
+    def ports(self) -> List[Tuple[int, int]]:
+        """(host, leaf switch) attachment list."""
+        return [(h, self.leaf_of(h)) for h in range(self.num_hosts)]

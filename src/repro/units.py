@@ -1,0 +1,110 @@
+"""Units and physical constants used across the simulation.
+
+The simulator clock counts **microseconds** (as floats).  Sizes are in
+**bytes**.  Bandwidths are expressed in **bytes per microsecond**, which
+is numerically equal to MB/s (1 byte/us = 1e6 bytes/s ~= 0.9537 MiB/s;
+the paper, like most networking papers of the era, uses decimal MB/s,
+so we do too: 1 MB/s == 1e6 bytes/s == 1 byte/us).
+
+Keeping the conversion helpers here (rather than scattering magic
+numbers) makes the calibration constants in :mod:`repro.hw.params`
+auditable against the paper.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Time. The simulator clock unit is 1 microsecond.
+# ---------------------------------------------------------------------------
+US = 1.0
+MS = 1_000.0
+S = 1_000_000.0
+NS = 1e-3
+
+# ---------------------------------------------------------------------------
+# Sizes (decimal and binary). The paper's message-size axes are bytes.
+# ---------------------------------------------------------------------------
+BYTE = 1
+KB = 1_000
+MB = 1_000_000
+KIB = 1024
+MIB = 1024 * 1024
+
+# ---------------------------------------------------------------------------
+# Ethernet framing (IEEE 802.3 for Gigabit Ethernet over copper).
+# ---------------------------------------------------------------------------
+ETHERNET_MTU = 1500            # bytes of payload per frame
+ETHERNET_HEADER = 14           # dst+src MAC + ethertype
+ETHERNET_FCS = 4               # frame check sequence
+ETHERNET_PREAMBLE = 8          # preamble + SFD
+ETHERNET_IFG = 12              # inter-frame gap (96 bit times)
+ETHERNET_MIN_FRAME = 64        # minimum frame size incl. header+FCS
+
+#: Per-frame overhead on the wire beyond the payload, in bytes.
+ETHERNET_WIRE_OVERHEAD = (
+    ETHERNET_HEADER + ETHERNET_FCS + ETHERNET_PREAMBLE + ETHERNET_IFG
+)
+
+#: Raw Gigabit Ethernet signalling rate: 1 Gb/s == 125 bytes/us.
+GIGE_WIRE_RATE = 125.0  # bytes per microsecond (== 125 MB/s)
+
+
+def bandwidth_mbps(nbytes: float, elapsed_us: float) -> float:
+    """Bandwidth in MB/s (== bytes/us) for ``nbytes`` over ``elapsed_us``.
+
+    Raises ``ZeroDivisionError`` if ``elapsed_us`` is zero — a zero-time
+    transfer indicates a simulation bug and should not be masked.
+    """
+    return nbytes / elapsed_us
+
+
+def serialization_time(nbytes: float, rate_bytes_per_us: float) -> float:
+    """Time (us) to clock ``nbytes`` onto a link of the given rate."""
+    return nbytes / rate_bytes_per_us
+
+
+def frames_for(nbytes: int, mtu: int = ETHERNET_MTU) -> int:
+    """Number of Ethernet frames needed to carry ``nbytes`` of payload.
+
+    A zero-byte message still occupies one frame (headers only), which
+    matches how a zero-length VIA send or TCP segment hits the wire.
+    """
+    if nbytes <= 0:
+        return 1
+    return -(-nbytes // mtu)  # ceil division
+
+
+def wire_bytes(payload: int, mtu: int = ETHERNET_MTU,
+               per_frame_header: int = 0) -> int:
+    """Total on-the-wire bytes for ``payload`` bytes of user data.
+
+    ``per_frame_header`` accounts for protocol headers *inside* the
+    Ethernet payload (e.g. VIA's framing header or TCP/IP headers),
+    which reduce the user payload per frame.
+    """
+    effective_mtu = mtu - per_frame_header
+    if effective_mtu <= 0:
+        raise ValueError(
+            f"per-frame header {per_frame_header} exceeds MTU {mtu}"
+        )
+    n = frames_for(payload, effective_mtu)
+    return payload + n * (ETHERNET_WIRE_OVERHEAD + per_frame_header)
+
+
+def pretty_size(nbytes: float) -> str:
+    """Human-readable byte count: ``pretty_size(16384) == '16K'``."""
+    nbytes = int(nbytes)
+    if nbytes >= MB and nbytes % MB == 0:
+        return f"{nbytes // MB}M"
+    if nbytes >= KIB and nbytes % KIB == 0:
+        return f"{nbytes // KIB}K"
+    return str(nbytes)
+
+
+def pretty_time(us: float) -> str:
+    """Human-readable microsecond value."""
+    if us >= S:
+        return f"{us / S:.3f}s"
+    if us >= MS:
+        return f"{us / MS:.3f}ms"
+    return f"{us:.2f}us"

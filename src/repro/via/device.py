@@ -1,0 +1,245 @@
+"""The per-node VIA device — the role of the Jlab e1000 M-VIA driver.
+
+A :class:`ViaDevice` binds the VIA object model onto a node's GigE
+ports: it fragments descriptors into checksummed wire packets, picks
+the egress port with the Shortest-Direction-First rule (direct port for
+nearest neighbors, first SDF hop otherwise), installs the receive
+driver on every port, and owns the node's kernel agent and registered
+memory space.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional
+
+from repro.errors import ConfigurationError, ViaError
+from repro.hw.link import Frame
+from repro.hw.nic import GigEPort
+from repro.hw.node import Host
+from repro.hw.params import ViaParams
+from repro.sim import Simulator
+from repro.topology.routing import sdf_next_direction
+from repro.topology.torus import Torus
+from repro.via.completion import CompletionQueue
+from repro.via.descriptors import RmaWriteDescriptor, SendDescriptor
+from repro.via.kernel_agent import KernelAgent
+from repro.via.memory import MemoryRegion, ProtectionTag, RegisteredSpace
+from repro.via.packet import PacketKind, ViaPacket
+from repro.via.vi import VI, Reliability
+
+
+class ViaDevice:
+    """VIA provider instance on one mesh node.
+
+    Parameters
+    ----------
+    sim, host:
+        Simulation and host resources for this node.
+    rank, torus:
+        The node's position in the mesh (drives routing).
+    ports:
+        Mapping from port index (:attr:`Direction.port
+        <repro.topology.torus.Direction.port>`) to the GigE port wired
+        in that direction.
+    params:
+        M-VIA cost constants.
+    """
+
+    def __init__(self, sim: Simulator, host: Host, rank: int, torus: Torus,
+                 ports: Dict[int, GigEPort],
+                 params: Optional[ViaParams] = None) -> None:
+        if not ports:
+            raise ConfigurationError(f"node {rank}: VIA device with no ports")
+        self.sim = sim
+        self.host = host
+        self.rank = rank
+        self.torus = torus
+        self.ports = dict(ports)
+        self.params = params or ViaParams()
+        self.memory = RegisteredSpace()
+        self.agent = KernelAgent(self)
+        self._vi_ids = itertools.count(1)
+        self.vis: Dict[int, VI] = {}
+        #: User payload bytes per Ethernet frame after the VIA header.
+        mtu = next(iter(self.ports.values())).params.mtu
+        self.frame_payload = mtu - self.params.header_bytes
+        if self.frame_payload <= 0:
+            raise ConfigurationError("VIA header larger than MTU")
+        #: Interrupt-level collective engine (paper section 7 future
+        #: work); created by :meth:`enable_kernel_collectives`.
+        self.kernel_collective = None
+        for port in self.ports.values():
+            port.set_driver(
+                lambda frame, _port=port: self.agent.handle_frame(frame, _port)
+            )
+
+    def enable_kernel_collectives(self, root: int = 0):
+        """Inject the reduction tree into the kernel (section 7)."""
+        from repro.via.kernel_collective import KernelCollective
+
+        self.kernel_collective = KernelCollective(self, root=root)
+        return self.kernel_collective
+
+    # -- user-facing object factory ---------------------------------------------
+    def create_protection_tag(self) -> ProtectionTag:
+        return ProtectionTag.create()
+
+    def create_vi(self, tag: ProtectionTag,
+                  send_cq: Optional[CompletionQueue] = None,
+                  recv_cq: Optional[CompletionQueue] = None,
+                  reliability: Reliability = Reliability.RELIABLE_DELIVERY,
+                  ) -> VI:
+        vi = VI(self, next(self._vi_ids), tag, send_cq=send_cq,
+                recv_cq=recv_cq, reliability=reliability)
+        self.vis[vi.vi_id] = vi
+        return vi
+
+    def create_cq(self, name: str = "") -> CompletionQueue:
+        return CompletionQueue(self.sim, name=name or f"cq[{self.rank}]")
+
+    def register_memory(self, nbytes: int, tag: ProtectionTag,
+                        rma_write: bool = False):
+        """Process: pin ``nbytes`` (kernel slow path, pays real time)."""
+        yield from self.host.cpu_work(self.memory.register_cost(nbytes))
+        return self.memory.register(nbytes, tag, rma_write=rma_write)
+
+    def register_memory_now(self, nbytes: int, tag: ProtectionTag,
+                            rma_write: bool = False) -> MemoryRegion:
+        """Zero-time registration, for setup phases the paper's
+        benchmarks exclude from timing."""
+        return self.memory.register(nbytes, tag, rma_write=rma_write)
+
+    # -- routing ------------------------------------------------------------
+    def egress_port(self, dst_node: int) -> GigEPort:
+        """Port on the first SDF hop toward ``dst_node``."""
+        direction = sdf_next_direction(self.torus, self.rank, dst_node)
+        if direction is None:
+            raise ViaError(f"node {self.rank}: no route to {dst_node}")
+        port = self.ports.get(direction.port)
+        if port is None:
+            raise ConfigurationError(
+                f"node {self.rank}: no adapter on port {direction.port} "
+                f"({direction})"
+            )
+        return port
+
+    # -- transmit paths ------------------------------------------------------
+    def _fragments(self, nbytes: int):
+        """Yield (offset, frag_bytes) pairs covering ``nbytes``."""
+        if nbytes == 0:
+            yield (0, 0)
+            return
+        offset = 0
+        while offset < nbytes:
+            yield (offset, min(self.frame_payload, nbytes - offset))
+            offset += self.frame_payload
+
+    def _route_egress(self, dst_node: int, route) -> "GigEPort":
+        """Egress port: first hop of an explicit route, else SDF."""
+        if route:
+            port = self.ports.get(route[0])
+            if port is None:
+                raise ConfigurationError(
+                    f"node {self.rank}: route starts on missing port "
+                    f"{route[0]}"
+                )
+            return port
+        return self.egress_port(dst_node)
+
+    def transmit_send(self, vi: VI, descriptor: SendDescriptor):
+        """Process: fragment and enqueue a two-sided send."""
+        peer_node, peer_vi = vi.peer
+        route = tuple(descriptor.route) if descriptor.route else None
+        port = self._route_egress(peer_node, route)
+        msg_id = ViaPacket.next_msg_id()
+        frags = list(self._fragments(descriptor.nbytes))
+        for index, (offset, frag_bytes) in enumerate(frags):
+            last = index == len(frags) - 1
+            packet = ViaPacket(
+                kind=PacketKind.DATA,
+                src_node=self.rank,
+                dst_node=peer_node,
+                dst_vi=peer_vi,
+                src_vi=vi.vi_id,
+                msg_id=msg_id,
+                frag_index=index,
+                num_frags=len(frags),
+                payload_bytes=frag_bytes,
+                msg_offset=offset,
+                msg_bytes=descriptor.nbytes,
+                immediate=descriptor.immediate if last else None,
+                route=route[1:] if route else None,
+                payload=descriptor.payload if last else None,
+            ).seal()
+            frame = Frame(
+                payload_bytes=frag_bytes,
+                header_bytes=self.params.header_bytes,
+                payload=packet,
+                kind="via-data",
+                on_fetched=(
+                    (lambda v=vi, d=descriptor: v.complete_send(d))
+                    if last else None
+                ),
+            )
+            yield from port.enqueue_tx(frame)
+
+    def transmit_rma(self, vi: VI, descriptor: RmaWriteDescriptor):
+        """Process: fragment and enqueue a remote-DMA write."""
+        peer_node, peer_vi = vi.peer
+        route = tuple(descriptor.route) if descriptor.route else None
+        port = self._route_egress(peer_node, route)
+        msg_id = ViaPacket.next_msg_id()
+        frags = list(self._fragments(descriptor.nbytes))
+        for index, (offset, frag_bytes) in enumerate(frags):
+            last = index == len(frags) - 1
+            packet = ViaPacket(
+                kind=PacketKind.RMA_WRITE,
+                src_node=self.rank,
+                dst_node=peer_node,
+                dst_vi=peer_vi,
+                src_vi=vi.vi_id,
+                msg_id=msg_id,
+                frag_index=index,
+                num_frags=len(frags),
+                payload_bytes=frag_bytes,
+                msg_offset=offset,
+                msg_bytes=descriptor.nbytes,
+                remote_addr=descriptor.remote_addr + offset,
+                notify=descriptor.notify and last,
+                immediate=descriptor.immediate if last else None,
+                route=route[1:] if route else None,
+                payload=descriptor.payload if last else None,
+            ).seal()
+            frame = Frame(
+                payload_bytes=frag_bytes,
+                header_bytes=self.params.header_bytes,
+                payload=packet,
+                kind="via-rma",
+                on_fetched=(
+                    (lambda v=vi, d=descriptor: v.complete_send(d))
+                    if last else None
+                ),
+            )
+            yield from port.enqueue_tx(frame)
+
+    def transmit_control(self, dst_node: int, kind: PacketKind,
+                         dst_vi: int, src_vi: int, payload=None):
+        """Process: one-frame control packet (connect/accept/teardown)."""
+        port = self.egress_port(dst_node)
+        packet = ViaPacket(
+            kind=kind,
+            src_node=self.rank,
+            dst_node=dst_node,
+            dst_vi=dst_vi,
+            src_vi=src_vi,
+            msg_id=ViaPacket.next_msg_id(),
+            payload_bytes=0,
+            payload=payload,
+        ).seal()
+        frame = Frame(0, self.params.header_bytes, payload=packet,
+                      kind=f"via-{kind.value}")
+        yield from port.enqueue_tx(frame)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"ViaDevice(rank={self.rank}, ports={sorted(self.ports)})"

@@ -1,0 +1,100 @@
+"""VIA wire packets.
+
+Every Ethernet frame the M-VIA device sends carries one
+:class:`ViaPacket` — the header the modified M-VIA prepends: source and
+destination *node* (mesh rank, so the packet switch can route),
+destination VI number, message sequencing and fragmentation fields, and
+a checksum.  The Jlab modification made the Intel hardware checksum
+each packet (section 4); software checksumming is modeled as a CPU cost
+in the NIC when offload is disabled.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+_msg_ids = itertools.count()
+
+
+class PacketKind(enum.Enum):
+    """Wire packet types of the modified M-VIA."""
+
+    DATA = "data"              # two-sided send fragment
+    RMA_WRITE = "rma_write"    # remote DMA write fragment
+    CONNECT = "connect"        # connection request
+    ACCEPT = "accept"          # connection accept
+    DISCONNECT = "disconnect"  # teardown
+    REDUCE = "reduce"          # interrupt-level partial reduction (s7)
+    CBCAST = "cbcast"          # interrupt-level result broadcast (s7)
+
+
+@dataclass
+class ViaPacket:
+    """One frame's worth of VIA traffic.
+
+    ``frag_index``/``num_frags`` implement fragmentation of descriptors
+    larger than the per-frame payload; fragments of one message travel
+    the same deterministic route, so reassembly may assume ordering
+    (asserted by the kernel agent).
+    """
+
+    kind: PacketKind
+    src_node: int
+    dst_node: int
+    dst_vi: int
+    #: Sender's VI id (connection handshake and completion routing).
+    src_vi: int = -1
+    msg_id: int = 0
+    frag_index: int = 0
+    num_frags: int = 1
+    payload_bytes: int = 0
+    #: Byte offset of this fragment within the whole message.
+    msg_offset: int = 0
+    #: Total message length (so the receiver can check truncation
+    #: before the last fragment arrives).
+    msg_bytes: int = 0
+    #: RMA destination address (RMA_WRITE only).
+    remote_addr: int = 0
+    #: Remote completion requested (RMA write with immediate).
+    notify: bool = False
+    immediate: Optional[int] = None
+    #: Explicit source route: remaining egress ports, consumed one per
+    #: hop by the kernel switch (the OPT scatter injects these; when
+    #: None the switch falls back to Shortest-Direction-First).  Being
+    #: hop-mutable, the route is excluded from the end-to-end checksum.
+    route: Optional[tuple] = None
+    payload: Any = field(default=None, repr=False)
+    checksum: Optional[int] = None
+
+    @classmethod
+    def next_msg_id(cls) -> int:
+        return next(_msg_ids)
+
+    def compute_checksum(self) -> int:
+        """Header checksum over the routing-relevant fields.
+
+        Payloads are Python objects, not bytes, so the checksum covers
+        the header exactly — which is what protects against the
+        misrouting/corruption bugs checksums caught in the real system.
+        """
+        header = (
+            f"{self.kind.value}|{self.src_node}|{self.dst_node}|"
+            f"{self.dst_vi}|{self.src_vi}|{self.msg_id}|{self.frag_index}|"
+            f"{self.num_frags}|{self.payload_bytes}|{self.msg_offset}|"
+            f"{self.msg_bytes}|{self.remote_addr}|{self.notify}|"
+            f"{self.immediate}"
+        ).encode()
+        return zlib.crc32(header)
+
+    def seal(self) -> "ViaPacket":
+        """Stamp the checksum (sender side)."""
+        self.checksum = self.compute_checksum()
+        return self
+
+    def verify(self) -> bool:
+        """Receiver-side checksum verification."""
+        return self.checksum == self.compute_checksum()

@@ -1,0 +1,104 @@
+"""VIPL-style functional facade over the VIA object model.
+
+The VIA Developer's Guide defines a C API (VipCreateVi, VipPostSend,
+...); this module mirrors those entry points for code ported from real
+VIPL programs.  Each function is a thin forwarding wrapper — the object
+API in :mod:`repro.via` is the primary surface.
+
+Functions that block are generator processes, like everything else in
+the simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.via.completion import CompletionQueue
+from repro.via.descriptors import (
+    RecvDescriptor,
+    RmaWriteDescriptor,
+    SendDescriptor,
+)
+from repro.via.device import ViaDevice
+from repro.via.memory import MemoryRegion, ProtectionTag
+from repro.via.vi import VI, Reliability
+
+
+def VipCreatePtag(nic: ViaDevice) -> ProtectionTag:
+    return nic.create_protection_tag()
+
+
+def VipRegisterMem(nic: ViaDevice, nbytes: int, ptag: ProtectionTag,
+                   enable_rdma_write: bool = False):
+    """Process: register (pin) memory through the kernel agent."""
+    region = yield from nic.register_memory(nbytes, ptag,
+                                            rma_write=enable_rdma_write)
+    return region
+
+
+def VipDeregisterMem(nic: ViaDevice, region: MemoryRegion) -> None:
+    nic.memory.deregister(region)
+
+
+def VipCreateVi(nic: ViaDevice, ptag: ProtectionTag,
+                send_cq: Optional[CompletionQueue] = None,
+                recv_cq: Optional[CompletionQueue] = None,
+                reliability: Reliability = Reliability.RELIABLE_DELIVERY,
+                ) -> VI:
+    return nic.create_vi(ptag, send_cq=send_cq, recv_cq=recv_cq,
+                         reliability=reliability)
+
+
+def VipCreateCQ(nic: ViaDevice, name: str = "") -> CompletionQueue:
+    return nic.create_cq(name=name)
+
+
+def VipConnectRequest(vi: VI, remote_node: int, discriminator):
+    """Process: active connection establishment (request + wait)."""
+    result = yield from vi.device.agent.connect_request(
+        vi, remote_node, discriminator
+    )
+    return result
+
+
+def VipConnectWait(vi: VI, discriminator):
+    """Process: passive connection establishment (wait + accept)."""
+    result = yield from vi.device.agent.connect_wait(vi, discriminator)
+    return result
+
+
+def VipPostSend(vi: VI, descriptor: SendDescriptor):
+    """Process: post a send descriptor."""
+    yield from vi.post_send(descriptor)
+
+
+def VipPostRecv(vi: VI, descriptor: RecvDescriptor) -> None:
+    vi.post_recv(descriptor)
+
+
+def VipRdmaWrite(vi: VI, descriptor: RmaWriteDescriptor):
+    """Process: post a remote-DMA write."""
+    yield from vi.post_rma_write(descriptor)
+
+
+def VipSendWait(vi: VI):
+    """Process: wait for the next send completion."""
+    descriptor = yield from vi.send_wait()
+    return descriptor
+
+
+def VipRecvWait(vi: VI):
+    """Process: wait for the next receive completion."""
+    descriptor = yield from vi.recv_wait()
+    return descriptor
+
+
+def VipCQWait(cq: CompletionQueue):
+    """Process: wait on a completion queue."""
+    completion = yield from cq.wait()
+    return completion
+
+
+def VipCQDone(cq: CompletionQueue):
+    """Nonblocking CQ poll (None when empty)."""
+    return cq.poll()

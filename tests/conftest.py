@@ -1,0 +1,72 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.builder import build_mesh
+from repro.sim import Simulator
+from repro.via.descriptors import RecvDescriptor, SendDescriptor
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+def run(sim, generator, limit=None):
+    """Spawn + run a process to completion, returning its value."""
+    process = sim.spawn(generator)
+    return sim.run_until_complete(process, limit=limit)
+
+
+@pytest.fixture
+def via_pair():
+    """A connected VIA pair on a 2-node mesh.
+
+    Returns (cluster, (vi0, region0), (vi1, region1)).
+    """
+    return make_via_pair()
+
+
+def make_via_pair(hops: int = 1, size_hint: int = 1 << 21,
+                  **cluster_kwargs):
+    cluster = build_mesh((hops + 1,), wrap=False, stack="via",
+                         **cluster_kwargs)
+    sim = cluster.sim
+    d0, d1 = cluster.nodes[0].via, cluster.nodes[hops].via
+    t0, t1 = d0.create_protection_tag(), d1.create_protection_tag()
+    vi0, vi1 = d0.create_vi(t0), d1.create_vi(t1)
+    r0 = d0.register_memory_now(size_hint, t0)
+    r1 = d1.register_memory_now(size_hint, t1)
+    a = sim.spawn(d0.agent.connect_request(vi0, hops, "pair"))
+    b = sim.spawn(d1.agent.connect_wait(vi1, "pair"))
+    sim.run_until_complete(a)
+    sim.run_until_complete(b)
+    return cluster, (vi0, r0), (vi1, r1)
+
+
+def via_pingpong_rtt2(cluster, end0, end1, nbytes=4, repeats=10):
+    """Half round-trip time between two connected VIs."""
+    (vi0, r0), (vi1, r1) = end0, end1
+    sim = cluster.sim
+    out = {}
+
+    def ponger():
+        for _ in range(repeats):
+            vi1.post_recv(RecvDescriptor(r1, 0, max(nbytes, 4096)))
+            yield from vi1.recv_wait()
+            yield from vi1.post_send(SendDescriptor(r1, 0, nbytes))
+
+    def pinger():
+        start = sim.now
+        for _ in range(repeats):
+            vi0.post_recv(RecvDescriptor(r0, 0, max(nbytes, 4096)))
+            yield from vi0.post_send(SendDescriptor(r0, 0, nbytes))
+            yield from vi0.recv_wait()
+        out["rtt2"] = (sim.now - start) / repeats / 2
+
+    sim.spawn(ponger())
+    process = sim.spawn(pinger())
+    sim.run_until_complete(process)
+    return out["rtt2"]

@@ -1,0 +1,45 @@
+"""Self-consistency tests for the micro-benchmark drivers."""
+
+import pytest
+
+from repro.bench import microbench as mb
+
+
+def test_latency_increases_with_size():
+    small = mb.via_latency(4, repeats=5)
+    large = mb.via_latency(4096, repeats=5)
+    assert large > small
+
+
+def test_pingpong_bandwidth_increases_with_size():
+    small = mb.via_pingpong_bandwidth(8192, repeats=3)
+    large = mb.via_pingpong_bandwidth(524288, repeats=3)
+    assert large > small
+
+
+def test_pingpong_below_simultaneous_is_false_for_via():
+    """Pingpong alternates directions; simultaneous streams both.  Per
+    direction the sustained rates converge at large sizes."""
+    pingpong = mb.via_pingpong_bandwidth(1_000_000, repeats=3)
+    simultaneous = mb.via_simultaneous_bandwidth(1_000_000)
+    assert pingpong == pytest.approx(simultaneous, rel=0.15)
+
+
+def test_aggregate_scales_with_link_count():
+    two_d = mb.via_aggregate_bandwidth((3, 3), 262144,
+                                       total_bytes=1_000_000)
+    three_d = mb.via_aggregate_bandwidth((3, 3, 3), 262144,
+                                         total_bytes=1_000_000)
+    # 6 links beat 4 links (not proportionally: shared host).
+    assert three_d > two_d
+
+
+def test_tcp_drivers_consistent():
+    lat = mb.tcp_latency(4, repeats=5)
+    assert 25 < lat < 45
+    bw = mb.tcp_simultaneous_bandwidth(1_000_000)
+    assert 60 < bw < 100
+
+
+def test_mpi_latency_reasonable():
+    assert 17 < mb.mpi_latency(4, repeats=5) < 21

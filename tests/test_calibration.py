@@ -1,0 +1,73 @@
+"""Calibration tests: the paper's headline numbers must come out of
+the model.  These are the contract between DESIGN.md's calibration
+table and the code."""
+
+import pytest
+
+from repro.bench import microbench as mb
+
+
+def test_mvia_small_message_latency():
+    """Section 4.1/5.1: ~18.5 us RTT/2 for small messages."""
+    assert mb.via_latency(4) == pytest.approx(18.5, abs=0.5)
+
+
+def test_mvia_latency_grows_slowly_below_400_bytes():
+    """'around 18.5us for messages of size smaller than 400 bytes' —
+    by 400 bytes the extra wire+copy time is still under 5us."""
+    lat4 = mb.via_latency(4)
+    lat400 = mb.via_latency(400)
+    assert lat400 - lat4 < 5.0
+
+
+def test_routing_latency_law():
+    """Section 5.1: 12.5 us per extra hop."""
+    one = mb.via_latency(4, hops=1)
+    four = mb.via_latency(4, hops=4)
+    per_hop = (four - one) / 3
+    assert per_hop == pytest.approx(12.5, abs=0.5)
+
+
+def test_mvia_simultaneous_bandwidth():
+    """Section 4.1: simultaneous send bandwidth approaching 110 MB/s."""
+    bw = mb.via_simultaneous_bandwidth(2_000_000)
+    assert bw == pytest.approx(110.0, abs=4.0)
+
+
+def test_tcp_latency_at_least_30_percent_higher():
+    via = mb.via_latency(4)
+    tcp = mb.tcp_latency(4)
+    assert tcp >= 1.3 * via
+
+
+def test_tcp_simultaneous_gap():
+    """Section 4.1: M-VIA simultaneous ~37% better than TCP."""
+    via = mb.via_simultaneous_bandwidth(2_000_000)
+    tcp = mb.tcp_simultaneous_bandwidth(2_000_000)
+    assert via / tcp == pytest.approx(1.37, abs=0.12)
+
+
+def test_pingpong_gap_only_marginal():
+    """Section 4.1: pingpong bandwidth 'marginally better' for M-VIA."""
+    via = mb.via_pingpong_bandwidth(1_000_000, repeats=3)
+    tcp = mb.tcp_pingpong_bandwidth(1_000_000, repeats=3)
+    assert via > tcp
+    assert via / tcp < 1.35
+
+
+def test_mpi_latency_close_to_raw_via():
+    """Section 5.1: 'small implementation overhead of MPI/QMP' — the
+    MPI RTT/2 sits within ~1.5us of raw M-VIA."""
+    assert mb.mpi_latency(4) == pytest.approx(18.5, abs=1.5)
+
+
+def test_host_overhead_near_6us():
+    """Section 4.1: ~6us of send+receive host overhead.  Removing the
+    host overheads (the VIA parameters) shrinks latency by ~that."""
+    from repro.hw.params import ViaParams
+
+    baseline = mb.via_latency(4)
+    free_host = mb.via_latency(
+        4, via_params=ViaParams(send_overhead=0.0, recv_overhead=0.0)
+    )
+    assert baseline - free_host == pytest.approx(6.0, abs=0.8)

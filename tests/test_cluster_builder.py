@@ -1,0 +1,81 @@
+"""Tests for cluster construction and configs."""
+
+import pytest
+
+from repro.cluster import (
+    MeshCluster,
+    build_mesh,
+    jlab_cluster_a,
+    jlab_cluster_b,
+    small_mesh,
+)
+from repro.errors import ConfigurationError
+from repro.topology import Torus
+
+
+def test_wiring_counts_3d():
+    cluster = build_mesh((3, 3, 3), stack="none")
+    assert cluster.size == 27
+    # One link per (node, positive direction): 3 axes x 27 nodes.
+    assert len(cluster.links) == 3 * 27
+    for node in cluster.nodes:
+        assert len(node.ports) == 6
+
+
+def test_wiring_extent_two_axis():
+    cluster = build_mesh((2,), wrap=True, stack="none")
+    # Wrapped extent-2 axis: two parallel links, all four ports wired.
+    assert len(cluster.links) == 2
+    for node in cluster.nodes:
+        assert sorted(node.ports) == [0, 1]
+
+
+def test_open_mesh_edges_unwired():
+    cluster = build_mesh((3,), wrap=False, stack="none")
+    assert len(cluster.links) == 2
+    assert sorted(cluster.nodes[0].ports) == [0]      # only +x
+    assert sorted(cluster.nodes[1].ports) == [0, 1]
+    assert sorted(cluster.nodes[2].ports) == [1]      # only -x
+
+
+def test_pci_assignment_per_axis():
+    cluster = build_mesh((2, 2, 2), stack="none")
+    node = cluster.nodes[0]
+    assert node.ports[0].pci_index == 0  # +-x share slot 0
+    assert node.ports[1].pci_index == 0
+    assert node.ports[4].pci_index == 2  # +-z on slot 2
+
+
+def test_attach_via_and_tcp_exclusive():
+    cluster = build_mesh((2,), wrap=False, stack="via")
+    with pytest.raises(ConfigurationError):
+        cluster.attach_tcp()
+    with pytest.raises(ConfigurationError):
+        cluster.attach_via()
+
+
+def test_unknown_stack_rejected():
+    with pytest.raises(ConfigurationError):
+        build_mesh((2,), stack="quantum")
+
+
+def test_jlab_configs():
+    a = jlab_cluster_a(stack="none")
+    b = jlab_cluster_b(stack="none")
+    assert a.torus == Torus((4, 8, 8))
+    assert b.torus == Torus((6, 8, 8))
+    assert a.size == 256
+    assert b.size == 384
+    assert a.host_params.cpu_ghz == 2.67
+    assert b.host_params.memory_mb == 512
+
+
+def test_small_mesh_passthrough():
+    cluster = small_mesh((3, 3), wrap=True, stack="via")
+    assert cluster.size == 9
+    assert cluster.nodes[0].via is not None
+
+
+def test_degenerate_torus_rejected():
+    with pytest.raises(ConfigurationError):
+        MeshCluster(Torus((1,)))

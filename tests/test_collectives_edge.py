@@ -1,0 +1,116 @@
+"""Edge-case tests for collective operations."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import build_mesh, build_world, run_mpi
+from repro.errors import MpiError
+
+
+def test_bcast_zero_bytes():
+    cluster = build_mesh((2, 2))
+    comms = build_world(cluster)
+
+    def program(comm):
+        result = yield from comm.bcast(root=0, nbytes=0,
+                                       data="tiny" if comm.rank == 0
+                                       else None)
+        return result
+
+    assert run_mpi(cluster, program, comms=comms) == ["tiny"] * 4
+
+
+def test_allreduce_large_payload_uses_rendezvous():
+    cluster = build_mesh((2, 2))
+    comms = build_world(cluster)
+
+    def program(comm):
+        data = np.full(4096, float(comm.rank))  # 32 KB doubles
+        result = yield from comm.allreduce(nbytes=data.nbytes,
+                                           data=data)
+        return float(result[0])
+
+    assert run_mpi(cluster, program, comms=comms) == [6.0] * 4
+
+
+def test_consecutive_collectives_do_not_cross():
+    cluster = build_mesh((2, 2))
+    comms = build_world(cluster)
+
+    def program(comm):
+        first = yield from comm.bcast(
+            root=0, nbytes=16, data="one" if comm.rank == 0 else None
+        )
+        second = yield from comm.bcast(
+            root=1, nbytes=16, data="two" if comm.rank == 1 else None
+        )
+        third = yield from comm.allreduce(nbytes=8,
+                                          data=np.float64(1.0))
+        return (first, second, float(third))
+
+    results = run_mpi(cluster, program, comms=comms)
+    assert all(r == ("one", "two", 4.0) for r in results)
+
+
+def test_collectives_and_pt2pt_interleave():
+    """User pt2pt traffic on the same tag values as collective tags
+    must not interfere (separate contexts)."""
+    cluster = build_mesh((2, 2))
+    comms = build_world(cluster)
+
+    def program(comm):
+        from repro.collectives.broadcast import TAG_BCAST
+
+        if comm.rank == 0:
+            yield from comm.send(1, tag=TAG_BCAST, nbytes=8,
+                                 data="user")
+        value = yield from comm.bcast(
+            root=0, nbytes=8, data="coll" if comm.rank == 0 else None
+        )
+        if comm.rank == 1:
+            request = yield from comm.recv(source=0, tag=TAG_BCAST,
+                                           nbytes=64)
+            return (value, request.received_data)
+        return (value, None)
+
+    results = run_mpi(cluster, program, comms=comms)
+    assert results[1] == ("coll", "user")
+
+
+def test_alltoall_none_data():
+    cluster = build_mesh((2, 2))
+    comms = build_world(cluster)
+
+    def program(comm):
+        result = yield from comm.alltoall(nbytes=128)
+        return len(result)
+
+    assert run_mpi(cluster, program, comms=comms) == [4] * 4
+
+
+def test_alltoall_wrong_length_rejected():
+    cluster = build_mesh((2,), wrap=True)
+    comms = build_world(cluster)
+
+    def program(comm):
+        if comm.rank == 0:
+            with pytest.raises(MpiError):
+                yield from comm.alltoall(nbytes=8, data=["x"])
+        yield comm.engine.sim.timeout(0)
+        return True
+
+    assert all(run_mpi(cluster, program, comms=comms))
+
+
+def test_gather_from_nonzero_root_on_line():
+    cluster = build_mesh((4,), wrap=False)
+    comms = build_world(cluster)
+
+    def program(comm):
+        result = yield from comm.gather(root=2, nbytes=32,
+                                        data=comm.rank * 11,
+                                        algorithm="sdf")
+        return result
+
+    results = run_mpi(cluster, program, comms=comms)
+    assert results[2] == [0, 11, 22, 33]

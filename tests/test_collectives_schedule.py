@@ -1,0 +1,94 @@
+"""Tests for the analytic scatter step model: SDF, OPT, optimality."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.collectives.schedule import (
+    opt_bound,
+    opt_schedule,
+    sdf_schedule,
+)
+from repro.topology import Torus
+
+
+def test_opt_is_optimal_on_paper_meshes():
+    """The headline claim: OPT uses exactly max(T1, T2) steps (+c<=1)
+    on the paper's configurations."""
+    for dims in ((8, 8), (4, 8, 8)):
+        torus = Torus(dims)
+        result = opt_schedule(torus, 0)
+        bound = opt_bound(torus, 0)
+        assert result.steps == bound
+
+
+def test_bounds_on_paper_meshes():
+    # 8x8: T1 = ceil(63/4) = 16, T2 = 8 -> 16.
+    assert opt_bound(Torus((8, 8)), 0) == 16
+    # 4x8x8: T1 = ceil(255/6) = 43, T2 = 10 -> 43.
+    assert opt_bound(Torus((4, 8, 8)), 0) == 43
+
+
+def test_sdf_slower_than_opt():
+    for dims in ((8, 8), (4, 8, 8)):
+        torus = Torus(dims)
+        sdf = sdf_schedule(torus, 0)
+        opt = opt_schedule(torus, 0)
+        assert sdf.steps > opt.steps
+
+
+def test_gap_grows_with_machine():
+    small = sdf_schedule(Torus((8, 8)), 0).steps / opt_schedule(
+        Torus((8, 8)), 0).steps
+    large = sdf_schedule(Torus((4, 8, 8)), 0).steps / opt_schedule(
+        Torus((4, 8, 8)), 0).steps
+    assert large > small
+
+
+DIMS = st.sampled_from([(4,), (8,), (3, 3), (4, 4), (2, 4, 4), (4, 4, 4)])
+
+
+@given(DIMS, st.data())
+@settings(max_examples=20, deadline=None)
+def test_all_messages_delivered(dims, data):
+    torus = Torus(dims)
+    root = data.draw(st.integers(min_value=0, max_value=torus.size - 1))
+    for scheduler in (sdf_schedule, opt_schedule):
+        result = scheduler(torus, root)
+        assert set(result.delivery) == set(torus.ranks()) - {root}
+        assert all(step >= 1 for step in result.delivery.values())
+
+
+@given(DIMS, st.data())
+@settings(max_examples=20, deadline=None)
+def test_opt_within_small_constant_of_bound(dims, data):
+    """The paper's +c slack: 'usually 0 and sometimes 1'."""
+    torus = Torus(dims)
+    root = data.draw(st.integers(min_value=0, max_value=torus.size - 1))
+    result = opt_schedule(torus, root)
+    bound = opt_bound(torus, root)
+    assert bound <= result.steps <= bound + 2
+
+
+@given(DIMS)
+@settings(max_examples=20, deadline=None)
+def test_nobody_beats_the_bound(dims):
+    """max(T1, T2) is a true lower bound for any scheduler."""
+    torus = Torus(dims)
+    bound = opt_bound(torus, 0)
+    for scheduler in (sdf_schedule, opt_schedule):
+        assert scheduler(torus, 0).steps >= bound
+
+
+def test_opt_work_equals_total_distance():
+    torus = Torus((4, 4))
+    result = opt_schedule(torus, 0)
+    total = sum(torus.distance(0, rank) for rank in torus.ranks())
+    assert result.hops == total  # every message travels minimally
+
+
+def test_sdf_hops_also_minimal():
+    # SDF routes minimally too; it loses on scheduling, not distance.
+    torus = Torus((4, 4))
+    result = sdf_schedule(torus, 0)
+    total = sum(torus.distance(0, rank) for rank in torus.ranks())
+    assert result.hops == total

@@ -1,0 +1,97 @@
+"""Tests for the collective spanning trees."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.collectives.tree import (
+    binomial_children,
+    binomial_parent,
+    dimension_order_children,
+    dimension_order_parent,
+    tree_depth,
+)
+from repro.topology import Torus
+
+DIMS = st.sampled_from([(4,), (8,), (3, 3), (4, 4), (2, 4, 4), (4, 8, 8)])
+
+
+@given(DIMS, st.data())
+@settings(max_examples=40, deadline=None)
+def test_every_node_reaches_root(dims, data):
+    torus = Torus(dims)
+    root = data.draw(st.integers(min_value=0, max_value=torus.size - 1))
+    for rank in torus.ranks():
+        node = rank
+        hops = 0
+        while node != root:
+            node = dimension_order_parent(torus, root, node)
+            hops += 1
+            assert hops <= torus.diameter()
+
+
+@given(DIMS, st.data())
+@settings(max_examples=40, deadline=None)
+def test_children_inverse_of_parent(dims, data):
+    torus = Torus(dims)
+    root = data.draw(st.integers(min_value=0, max_value=torus.size - 1))
+    for rank in torus.ranks():
+        for child in dimension_order_children(torus, root, rank):
+            assert dimension_order_parent(torus, root, child) == rank
+
+
+@given(DIMS)
+@settings(max_examples=20, deadline=None)
+def test_tree_is_spanning(dims):
+    torus = Torus(dims)
+    root = 0
+    covered = {root}
+    frontier = [root]
+    while frontier:
+        node = frontier.pop()
+        for child in dimension_order_children(torus, root, node):
+            assert child not in covered
+            covered.add(child)
+            frontier.append(child)
+    assert covered == set(torus.ranks())
+
+
+def test_depth_matches_paper_formula():
+    # ceil(4/2) + ceil(8/2) + ceil(8/2) = 10 steps on the 4x8x8.
+    assert tree_depth(Torus((4, 8, 8)), 0) == 10
+    assert tree_depth(Torus((8, 8)), 0) == 8
+
+
+def test_parent_axis_ordering():
+    # The tree fills x first, then y, then z: a node differing only in
+    # x hangs off the x line; differing in z receives along z.
+    torus = Torus((4, 4, 4))
+    x_node = torus.rank((1, 0, 0))
+    z_node = torus.rank((2, 3, 1))
+    assert dimension_order_parent(torus, 0, x_node) == torus.rank((0, 0, 0))
+    assert dimension_order_parent(torus, 0, z_node) == torus.rank((2, 3, 0))
+
+
+def test_binomial_roundtrip():
+    size = 13
+    for root in (0, 5):
+        for rank in range(size):
+            for child in binomial_children(size, root, rank):
+                assert binomial_parent(size, root, child) == rank
+
+
+def test_binomial_spanning():
+    size, root = 16, 3
+    covered = {root}
+    frontier = [root]
+    while frontier:
+        node = frontier.pop()
+        for child in binomial_children(size, root, node):
+            assert child not in covered
+            covered.add(child)
+            frontier.append(child)
+    assert covered == set(range(size))
+
+
+def test_binomial_root_has_log_children():
+    assert len(binomial_children(16, 0, 0)) == 4
+    assert binomial_parent(16, 0, 0) is None

@@ -1,0 +1,164 @@
+"""Tests for the messaging core: protocols, tokens, rendezvous."""
+
+import pytest
+
+from repro.cluster.builder import build_mesh
+from repro.cluster.process_api import build_engines
+from repro.core.message import ANY_SOURCE, ANY_TAG, CoreParams
+
+
+def _engines(dims=(2,), wrap=False, params=None):
+    cluster = build_mesh(dims, wrap=wrap)
+    engines = build_engines(cluster, params=params)
+    return cluster, engines
+
+
+def test_eager_roundtrip():
+    cluster, engines = _engines()
+    sim = cluster.sim
+    recv = engines[1].irecv(0, tag=5, context=1, nbytes=1024)
+    send = engines[0].isend(1, tag=5, context=1, nbytes=100,
+                            data="hello")
+    sim.run_until_complete(send)
+    sim.run_until_complete(recv)
+    assert recv.received_data == "hello"
+    assert recv.received_bytes == 100
+    assert recv.received_src == 0
+    assert engines[0].stats["eager_sent"] == 1
+
+
+def test_unexpected_message_queued_then_matched():
+    cluster, engines = _engines()
+    sim = cluster.sim
+    send = engines[0].isend(1, tag=9, context=1, nbytes=64, data="early")
+    sim.run_until_complete(send)
+    sim.run(until=sim.now + 100)  # message arrives unmatched
+    assert engines[1].stats["unexpected"] == 1
+    recv = engines[1].irecv(0, tag=9, context=1, nbytes=64)
+    sim.run_until_complete(recv)
+    assert recv.received_data == "early"
+
+
+def test_rendezvous_large_message():
+    cluster, engines = _engines()
+    sim = cluster.sim
+    nbytes = 200_000
+    recv = engines[1].irecv(0, tag=1, context=1, nbytes=nbytes)
+    send = engines[0].isend(1, tag=1, context=1, nbytes=nbytes,
+                            data="bulk")
+    sim.run_until_complete(send)
+    sim.run_until_complete(recv)
+    assert recv.received_data == "bulk"
+    assert engines[0].stats["rma_sent"] == 1
+
+
+def test_rendezvous_send_first_uses_rts():
+    cluster, engines = _engines()
+    sim = cluster.sim
+    send = engines[0].isend(1, tag=2, context=1, nbytes=100_000)
+    sim.run(until=sim.now + 500)
+    assert not send.triggered  # waiting for the advert
+    assert engines[0].stats["rts_sent"] == 1
+    recv = engines[1].irecv(0, tag=2, context=1, nbytes=100_000)
+    sim.run_until_complete(send)
+    sim.run_until_complete(recv)
+    assert recv.received_bytes == 100_000
+
+
+def test_rendezvous_any_source():
+    cluster, engines = _engines()
+    sim = cluster.sim
+    recv = engines[1].irecv(ANY_SOURCE, tag=ANY_TAG, context=1,
+                            nbytes=65536)
+    send = engines[0].isend(1, tag=77, context=1, nbytes=65536,
+                            data="whoever")
+    sim.run_until_complete(send)
+    sim.run_until_complete(recv)
+    assert recv.received_src == 0
+    assert recv.received_tag == 77
+
+
+def test_context_isolation():
+    cluster, engines = _engines()
+    sim = cluster.sim
+    recv_wrong = engines[1].irecv(0, tag=1, context=2, nbytes=1024)
+    send = engines[0].isend(1, tag=1, context=1, nbytes=10)
+    sim.run_until_complete(send)
+    sim.run(until=sim.now + 200)
+    assert not recv_wrong.triggered
+    recv_right = engines[1].irecv(0, tag=1, context=1, nbytes=1024)
+    sim.run_until_complete(recv_right)
+
+
+def test_token_stall_and_recovery():
+    params = CoreParams(data_tokens=2, token_return_threshold=1)
+    cluster, engines = _engines(params=params)
+    sim = cluster.sim
+    count = 12
+    recvs = [
+        engines[1].irecv(0, tag=1, context=1, nbytes=512)
+        for _ in range(count)
+    ]
+    sends = [
+        engines[0].isend(1, tag=1, context=1, nbytes=256, data=index)
+        for index in range(count)
+    ]
+    for request in sends + recvs:
+        sim.run_until_complete(request, limit=1e7)
+    assert [r.received_data for r in recvs] == list(range(count))
+    channel = engines[0].channels[1]
+    assert channel.stats["token_stalls"] > 0
+
+
+def test_mixed_eager_and_rma_ordering():
+    cluster, engines = _engines()
+    sim = cluster.sim
+    sizes = [100, 50_000, 200, 80_000]
+    recvs = [
+        engines[1].irecv(0, tag=4, context=1, nbytes=max(s, 1024))
+        for s in sizes
+    ]
+    for index, size in enumerate(sizes):
+        engines[0].isend(1, tag=4, context=1, nbytes=size, data=index)
+    for request in recvs:
+        sim.run_until_complete(request, limit=1e7)
+    assert [r.received_data for r in recvs] == [0, 1, 2, 3]
+
+
+def test_lazy_channel_to_distant_rank():
+    cluster, engines = _engines(dims=(4,), wrap=True)
+    sim = cluster.sim
+    recv = engines[2].irecv(0, tag=1, context=1, nbytes=256)
+    send = engines[0].isend(2, tag=1, context=1, nbytes=128,
+                            data="far")
+    sim.run_until_complete(send)
+    sim.run_until_complete(recv)
+    assert recv.received_data == "far"
+    # The channel was created on demand on both ends.
+    assert 2 in engines[0].channels
+    assert 0 in engines[2].channels
+
+
+def test_self_channel_rejected():
+    cluster, engines = _engines()
+    from repro.errors import MessagingError
+
+    def bad():
+        yield from engines[0].ensure_channel(0)
+
+    with pytest.raises(MessagingError):
+        cluster.sim.run_until_complete(cluster.sim.spawn(bad()))
+
+
+def test_source_route_on_engine_send():
+    from repro.topology.torus import Direction
+
+    cluster, engines = _engines(dims=(3, 3), wrap=True)
+    sim = cluster.sim
+    route = (Direction(1, +1).port, Direction(0, +1).port)
+    recv = engines[4].irecv(0, tag=1, context=1, nbytes=256)
+    send = engines[0].isend(4, tag=1, context=1, nbytes=64,
+                            data="routed", route=route)
+    sim.run_until_complete(send)
+    sim.run_until_complete(recv)
+    assert recv.received_data == "routed"

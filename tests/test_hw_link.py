@@ -1,0 +1,126 @@
+"""Tests for frames and links."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hw.link import Frame, Link
+from repro.sim import Simulator
+from repro.units import ETHERNET_WIRE_OVERHEAD
+
+
+class _StubPort:
+    def __init__(self):
+        self.arrivals = []
+
+    def frame_arrived(self, frame):
+        self.arrivals.append(frame)
+
+
+def _link(sim, **kwargs):
+    defaults = dict(wire_rate=125.0, frame_overhead=ETHERNET_WIRE_OVERHEAD,
+                    propagation=0.3, name="L")
+    defaults.update(kwargs)
+    return Link(sim, **defaults)
+
+
+def test_frame_wire_bytes():
+    frame = Frame(payload_bytes=1458, header_bytes=42)
+    assert frame.wire_bytes(ETHERNET_WIRE_OVERHEAD) == 1500 + 38
+
+
+def test_small_frame_padded_to_minimum():
+    frame = Frame(payload_bytes=1, header_bytes=0)
+    # 64-byte minimum includes 14 header + 4 FCS -> 46-byte body floor.
+    assert frame.wire_bytes(ETHERNET_WIRE_OVERHEAD) == 46 + 38
+
+
+def test_frame_ids_unique():
+    a, b = Frame(1, 0), Frame(1, 0)
+    assert a.frame_id != b.frame_id
+
+
+def test_attach_validation(sim):
+    link = _link(sim)
+    port = _StubPort()
+    link.attach(0, port)
+    with pytest.raises(ConfigurationError):
+        link.attach(0, _StubPort())
+    with pytest.raises(ConfigurationError):
+        link.attach(2, _StubPort())
+    with pytest.raises(ConfigurationError):
+        link.peer(0)  # asks for side 1, which is unattached
+
+
+def test_transmit_timing(sim):
+    link = _link(sim)
+    a, b = _StubPort(), _StubPort()
+    link.attach(0, a)
+    link.attach(1, b)
+    frame = Frame(payload_bytes=1462, header_bytes=0)  # 1500 wire bytes
+
+    def send():
+        yield from link.transmit(0, frame)
+        return sim.now
+
+    process = sim.spawn(send())
+    serialization_done = sim.run_until_complete(process)
+    assert serialization_done == pytest.approx(1500 / 125.0)
+    sim.run()
+    assert b.arrivals == [frame]
+    # Arrival includes propagation delay after serialization.
+    assert sim.now == pytest.approx(1500 / 125.0 + 0.3)
+
+
+def test_directions_independent(sim):
+    link = _link(sim)
+    a, b = _StubPort(), _StubPort()
+    link.attach(0, a)
+    link.attach(1, b)
+    done = []
+
+    def send(side):
+        yield from link.transmit(side, Frame(1462, 0))
+        done.append((side, sim.now))
+
+    sim.spawn(send(0))
+    sim.spawn(send(1))
+    sim.run()
+    # Full duplex: both serializations take one frame time, in parallel.
+    assert done[0][1] == pytest.approx(done[1][1])
+
+
+def test_same_direction_serializes(sim):
+    link = _link(sim)
+    a, b = _StubPort(), _StubPort()
+    link.attach(0, a)
+    link.attach(1, b)
+    done = []
+
+    def send():
+        yield from link.transmit(0, Frame(1462, 0))
+        done.append(sim.now)
+
+    sim.spawn(send())
+    sim.spawn(send())
+    sim.run()
+    assert done[1] == pytest.approx(2 * 1500 / 125.0)
+
+
+def test_stats_track_payload(sim):
+    link = _link(sim)
+    a, b = _StubPort(), _StubPort()
+    link.attach(0, a)
+    link.attach(1, b)
+
+    def send():
+        yield from link.transmit(0, Frame(100, 10))
+
+    process = sim.spawn(send())
+    sim.run_until_complete(process)
+    assert link.stats["frames"][0] == 1
+    assert link.stats["bytes"][0] == 100
+
+
+def test_bad_wire_rate(sim):
+    with pytest.raises(ConfigurationError):
+        _link(sim, wire_rate=0)

@@ -1,0 +1,80 @@
+"""Property tests for the fluid bus: conservation and fairness."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hw.pci import BandwidthBus
+from repro.sim import Simulator
+
+TRANSFERS = st.lists(
+    st.tuples(
+        st.floats(min_value=1.0, max_value=50_000.0),   # bytes
+        st.floats(min_value=0.0, max_value=50.0),       # start delay
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+@given(TRANSFERS, st.floats(min_value=10.0, max_value=2000.0))
+@settings(max_examples=40, deadline=None)
+def test_total_time_bounded_by_serial_and_capacity(transfers, rate):
+    """All transfers complete; the makespan is at least the
+    work-conservation bound (total bytes / rate from the last start
+    cannot beat capacity) and at most the serial bound."""
+    sim = Simulator()
+    bus = BandwidthBus(sim, rate=rate)
+    finished = []
+
+    def run(nbytes, delay):
+        yield sim.timeout(delay)
+        yield from bus.transfer(nbytes)
+        finished.append(sim.now)
+
+    for nbytes, delay in transfers:
+        sim.spawn(run(nbytes, delay))
+    sim.run()
+    assert len(finished) == len(transfers)
+    total_bytes = sum(b for b, _d in transfers)
+    last_start = max(d for _b, d in transfers)
+    makespan = max(finished)
+    # Work conservation: the bus cannot move bytes faster than rate.
+    assert makespan >= total_bytes / rate - 1e-6
+    # And never slower than fully-serial execution after the last
+    # arrival.
+    assert makespan <= last_start + total_bytes / rate + 1e-6
+
+
+@given(st.integers(min_value=2, max_value=6))
+@settings(max_examples=10, deadline=None)
+def test_equal_flows_finish_together(n):
+    sim = Simulator()
+    bus = BandwidthBus(sim, rate=100.0)
+    finished = []
+
+    def run():
+        yield from bus.transfer(1000.0)
+        finished.append(sim.now)
+
+    for _ in range(n):
+        sim.spawn(run())
+    sim.run()
+    assert max(finished) - min(finished) < 1e-6
+    assert max(finished) == pytest.approx(n * 10.0)
+
+
+@given(st.floats(min_value=1.0, max_value=99.0))
+@settings(max_examples=20, deadline=None)
+def test_cap_never_exceeded(cap):
+    """A capped flow alone on the bus finishes exactly at bytes/cap."""
+    sim = Simulator()
+    bus = BandwidthBus(sim, rate=100.0)
+    done = {}
+
+    def run():
+        yield from bus.transfer(500.0, rate_cap=cap)
+        done["t"] = sim.now
+
+    sim.spawn(run())
+    sim.run()
+    assert done["t"] == pytest.approx(500.0 / cap)

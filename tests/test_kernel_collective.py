@@ -1,0 +1,104 @@
+"""Tests for interrupt-level collectives (paper section 7)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import build_mesh, build_world, run_mpi
+from repro.errors import ViaError
+from repro.mpi.op import MAX, SUM
+
+
+def _enabled_cluster(dims=(2, 2, 2)):
+    cluster = build_mesh(dims, wrap=True)
+    comms = build_world(cluster)
+    for node in cluster.nodes:
+        node.via.enable_kernel_collectives(root=0)
+    return cluster, comms
+
+
+def test_kernel_global_sum_correct():
+    cluster, comms = _enabled_cluster()
+
+    def program(comm):
+        kc = comm.engine.device.kernel_collective
+        result = yield from kc.global_sum(
+            np.float64(comm.rank + 1), SUM
+        )
+        return float(result)
+
+    assert run_mpi(cluster, program, comms=comms) == [36.0] * 8
+
+
+def test_kernel_max():
+    cluster, comms = _enabled_cluster()
+
+    def program(comm):
+        kc = comm.engine.device.kernel_collective
+        result = yield from kc.global_sum(np.float64(comm.rank), MAX)
+        return float(result)
+
+    assert run_mpi(cluster, program, comms=comms) == [7.0] * 8
+
+
+def test_repeated_reductions_stay_consistent():
+    cluster, comms = _enabled_cluster()
+
+    def program(comm):
+        kc = comm.engine.device.kernel_collective
+        results = []
+        for iteration in range(4):
+            value = yield from kc.global_sum(
+                np.float64(comm.rank * (iteration + 1)), SUM
+            )
+            results.append(float(value))
+        return results
+
+    outputs = run_mpi(cluster, program, comms=comms)
+    expected = [sum(r * (i + 1) for r in range(8)) for i in range(4)]
+    assert all(out == expected for out in outputs)
+
+
+def test_kernel_faster_than_user_level():
+    """The section 7 rationale: skipping the user-space crossings on
+    intermediate hops lowers the total latency."""
+    cluster, comms = _enabled_cluster((2, 4, 4))
+    times = {}
+
+    def program(comm):
+        sim = comm.engine.sim
+        yield from comm.barrier()
+        start = sim.now
+        yield from comm.allreduce(nbytes=8, data=np.float64(1.0))
+        times.setdefault("u0", start)
+        times["u1"] = max(times.get("u1", 0.0), sim.now)
+        yield from comm.barrier()
+        start = sim.now
+        kc = comm.engine.device.kernel_collective
+        yield from kc.global_sum(np.float64(1.0), SUM)
+        times.setdefault("k0", start)
+        times["k1"] = max(times.get("k1", 0.0), sim.now)
+        return None
+
+    run_mpi(cluster, program, comms=comms)
+    user = times["u1"] - times["u0"]
+    kernel = times["k1"] - times["k0"]
+    assert kernel < user
+
+
+def test_packet_without_enablement_rejected():
+    cluster = build_mesh((2, 2))
+    comms = build_world(cluster)
+    # Enable on one node only: its REDUCE packet hits a peer without
+    # the kernel engine.
+    cluster.nodes[1].via.enable_kernel_collectives(root=0)
+
+    def program(comm):
+        if comm.rank == 1:
+            kc = comm.engine.device.kernel_collective
+            yield from kc.global_sum(np.float64(1.0), SUM)
+        else:
+            yield comm.engine.sim.timeout(1e6)
+        return None
+
+    with pytest.raises(ViaError):
+        run_mpi(cluster, program, comms=comms)

@@ -1,0 +1,225 @@
+"""Tests for MPI collectives on mesh and generic groups."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import build_mesh, build_world, run_mpi
+from repro.errors import MpiError
+from repro.mpi import MAX, SUM
+
+
+def _world(dims, wrap=True):
+    cluster = build_mesh(dims, wrap=wrap)
+    return cluster, build_world(cluster)
+
+
+def test_bcast_delivers_everywhere():
+    cluster, comms = _world((2, 2, 2))
+
+    def program(comm):
+        data = {"v": 42} if comm.rank == 0 else None
+        result = yield from comm.bcast(root=0, nbytes=64, data=data)
+        return result["v"]
+
+    assert run_mpi(cluster, program, comms=comms) == [42] * 8
+
+
+def test_bcast_nonzero_root():
+    cluster, comms = _world((3, 3))
+
+    def program(comm):
+        data = "from4" if comm.rank == 4 else None
+        result = yield from comm.bcast(root=4, nbytes=32, data=data)
+        return result
+
+    assert run_mpi(cluster, program, comms=comms) == ["from4"] * 9
+
+
+def test_reduce_sums_at_root():
+    cluster, comms = _world((2, 2))
+
+    def program(comm):
+        result = yield from comm.reduce(
+            root=0, nbytes=8, op=SUM, data=np.float64(comm.rank + 1)
+        )
+        return None if result is None else float(result)
+
+    results = run_mpi(cluster, program, comms=comms)
+    assert results[0] == 10.0
+    assert results[1:] == [None, None, None]
+
+
+def test_allreduce_max():
+    cluster, comms = _world((2, 2, 2))
+
+    def program(comm):
+        result = yield from comm.allreduce(
+            nbytes=8, op=MAX, data=np.float64(comm.rank)
+        )
+        return float(result)
+
+    assert run_mpi(cluster, program, comms=comms) == [7.0] * 8
+
+
+def test_allreduce_array():
+    cluster, comms = _world((2, 2))
+
+    def program(comm):
+        data = np.full(10, float(comm.rank))
+        result = yield from comm.allreduce(nbytes=80, data=data)
+        return result
+
+    results = run_mpi(cluster, program, comms=comms)
+    for result in results:
+        assert np.allclose(result, 6.0)  # 0+1+2+3
+
+
+def test_barrier_synchronizes():
+    cluster, comms = _world((2, 2))
+    after = []
+
+    def program(comm):
+        sim = comm.engine.sim
+        # Stagger arrival at the barrier.
+        yield sim.timeout(100.0 * comm.rank)
+        yield from comm.barrier()
+        after.append(sim.now)
+        return None
+
+    run_mpi(cluster, program, comms=comms)
+    # Nobody leaves before the last arrival (t=300).
+    assert min(after) >= 300.0
+
+
+@pytest.mark.parametrize("algorithm", ["sdf", "opt"])
+def test_scatter_delivers_slices(algorithm):
+    cluster, comms = _world((3, 3))
+
+    def program(comm):
+        data = None
+        if comm.rank == 2:
+            data = [f"s{r}" for r in range(comm.size)]
+        result = yield from comm.scatter(root=2, nbytes=128, data=data,
+                                         algorithm=algorithm)
+        return result
+
+    assert run_mpi(cluster, program, comms=comms) == [
+        f"s{r}" for r in range(9)
+    ]
+
+
+def test_scatter_validates_data_length():
+    cluster, comms = _world((2, 2))
+
+    def program(comm):
+        if comm.rank == 0:
+            with pytest.raises(MpiError):
+                yield from comm.scatter(root=0, nbytes=8, data=["x"])
+        else:
+            yield comm.engine.sim.timeout(0)
+        return None
+
+    # Only rank 0 exercises the validation; others idle.
+    cluster2, comms2 = _world((2, 2))
+
+    def rank0_only(comm):
+        if comm.rank == 0:
+            with pytest.raises(MpiError):
+                yield from comm.scatter(root=0, nbytes=8, data=["x"])
+        yield comm.engine.sim.timeout(0)
+        return True
+
+    assert all(run_mpi(cluster2, rank0_only, comms=comms2))
+
+
+@pytest.mark.parametrize("algorithm", ["sdf", "opt"])
+def test_gather_collects_all(algorithm):
+    cluster, comms = _world((2, 2, 2))
+
+    def program(comm):
+        result = yield from comm.gather(root=0, nbytes=64,
+                                        data=f"d{comm.rank}",
+                                        algorithm=algorithm)
+        return result
+
+    results = run_mpi(cluster, program, comms=comms)
+    assert results[0] == [f"d{r}" for r in range(8)]
+    assert results[1] is None
+
+
+def test_alltoall_full_exchange():
+    cluster, comms = _world((2, 2))
+
+    def program(comm):
+        data = [f"{comm.rank}->{d}" for d in range(comm.size)]
+        result = yield from comm.alltoall(nbytes=32, data=data)
+        return result
+
+    results = run_mpi(cluster, program, comms=comms)
+    for rank, received in enumerate(results):
+        assert received == [f"{s}->{rank}" for s in range(4)]
+
+
+def test_sub_communicator_uses_binomial_fallback():
+    cluster, comms = _world((2, 2))
+
+    def program(comm):
+        sub = comm.create([0, 1, 2])
+        if sub is None:
+            return None
+        result = yield from sub.allreduce(
+            nbytes=8, data=np.float64(sub.rank)
+        )
+        return float(result)
+
+    results = run_mpi(cluster, program, comms=comms)
+    assert results[:3] == [3.0, 3.0, 3.0]
+    assert results[3] is None
+
+
+def test_comm_dup_isolates_contexts():
+    cluster, comms = _world((2,), wrap=False)
+
+    def program(comm):
+        dup = comm.dup()
+        assert dup.context != comm.context
+        # Traffic on the dup matches only dup receives.
+        if comm.rank == 0:
+            yield from dup.send(1, tag=1, nbytes=8, data="dup")
+            yield from comm.send(1, tag=1, nbytes=8, data="orig")
+        else:
+            orig = yield from comm.recv(source=0, tag=1, nbytes=64)
+            duped = yield from dup.recv(source=0, tag=1, nbytes=64)
+            return (orig.received_data, duped.received_data)
+        return None
+
+    assert run_mpi(cluster, program)[1] == ("orig", "dup")
+
+
+def test_fig5_shape_small():
+    """Broadcast ~steps x per-hop; global sum ~2x broadcast."""
+    cluster, comms = _world((2, 4, 4))
+    times = {}
+
+    def program(comm):
+        sim = comm.engine.sim
+        yield from comm.barrier()
+        start = sim.now
+        yield from comm.bcast(root=0, nbytes=4)
+        times.setdefault("b0", start)
+        times["b1"] = max(times.get("b1", 0), sim.now)
+        yield from comm.barrier()
+        start = sim.now
+        yield from comm.allreduce(nbytes=8, data=np.float64(1))
+        times.setdefault("s0", start)
+        times["s1"] = max(times.get("s1", 0), sim.now)
+        return None
+
+    run_mpi(cluster, program, comms=comms)
+    bcast_time = times["b1"] - times["b0"]
+    sum_time = times["s1"] - times["s0"]
+    # 2+4+4 -> 1+2+2 = 5 steps at ~20us, within a generous band.
+    assert 70 <= bcast_time <= 160
+    # "roughly twice as many communication steps" (section 5.2); small
+    # meshes skew a bit high from per-node combining overhead.
+    assert 1.5 <= sum_time / bcast_time <= 3.0

@@ -1,0 +1,147 @@
+"""Tests for the extended MPI surface: ssend, probe, allgather,
+scatterv/gatherv."""
+
+import pytest
+
+from repro.cluster import build_mesh, build_world, run_mpi
+from repro.errors import MpiError
+from repro.mpi import ANY_SOURCE, ANY_TAG
+
+
+def test_ssend_waits_for_matching_recv():
+    cluster = build_mesh((2,), wrap=False)
+    marks = {}
+
+    def program(comm):
+        sim = comm.engine.sim
+        if comm.rank == 0:
+            start = sim.now
+            yield from comm.ssend(1, tag=1, nbytes=64, data="sync")
+            marks["send_done"] = sim.now - start
+            return None
+        # Delay the receive: the ssend must not complete before it.
+        yield sim.timeout(500)
+        marks["recv_posted"] = sim.now
+        request = yield from comm.recv(source=0, tag=1, nbytes=64)
+        return request.received_data
+
+    results = run_mpi(cluster, program)
+    assert results[1] == "sync"
+    # ssend completion waited out the 500us receive delay.
+    assert marks["send_done"] >= 500
+
+
+def test_regular_eager_send_does_not_wait():
+    cluster = build_mesh((2,), wrap=False)
+    marks = {}
+
+    def program(comm):
+        sim = comm.engine.sim
+        if comm.rank == 0:
+            start = sim.now
+            yield from comm.send(1, tag=1, nbytes=64)
+            marks["send_done"] = sim.now - start
+            return None
+        yield sim.timeout(500)
+        yield from comm.recv(source=0, tag=1, nbytes=64)
+        return None
+
+    run_mpi(cluster, program)
+    assert marks["send_done"] < 100  # buffered locally, no rendezvous
+
+
+def test_iprobe_and_probe():
+    cluster = build_mesh((2,), wrap=False)
+
+    def program(comm):
+        sim = comm.engine.sim
+        if comm.rank == 0:
+            yield sim.timeout(100)
+            yield from comm.send(1, tag=42, nbytes=777)
+            return None
+        assert comm.iprobe() is None
+        source, tag, nbytes = yield from comm.probe(source=0,
+                                                    tag=ANY_TAG)
+        assert (source, tag, nbytes) == (0, 42, 777)
+        # Probe did not consume: the message is still receivable.
+        assert comm.iprobe(source=0, tag=42) == (0, 42, 777)
+        request = yield from comm.recv(source=0, tag=42, nbytes=1024)
+        assert request.received_bytes == 777
+        assert comm.iprobe() is None
+        return "ok"
+
+    assert run_mpi(cluster, program)[1] == "ok"
+
+
+def test_allgather():
+    cluster = build_mesh((2, 2))
+    comms = build_world(cluster)
+
+    def program(comm):
+        result = yield from comm.allgather(nbytes=32,
+                                           data=f"r{comm.rank}")
+        return result
+
+    results = run_mpi(cluster, program, comms=comms)
+    expected = [f"r{r}" for r in range(4)]
+    assert all(result == expected for result in results)
+
+
+@pytest.mark.parametrize("algorithm", ["sdf", "opt"])
+def test_scatterv_variable_sizes(algorithm):
+    cluster = build_mesh((3, 3))
+    comms = build_world(cluster)
+    sizes = [64 * (r + 1) for r in range(9)]
+
+    def program(comm):
+        data = None
+        if comm.rank == 0:
+            data = [f"slice{r}" for r in range(comm.size)]
+        result = yield from comm.scatterv(root=0, sizes=sizes,
+                                          data=data,
+                                          algorithm=algorithm)
+        return result
+
+    assert run_mpi(cluster, program, comms=comms) == [
+        f"slice{r}" for r in range(9)
+    ]
+
+
+def test_gatherv_variable_sizes():
+    cluster = build_mesh((2, 2))
+    comms = build_world(cluster)
+    sizes = [128, 20000, 64, 50000]  # mixes eager and rendezvous
+
+    def program(comm):
+        result = yield from comm.gatherv(root=0, sizes=sizes,
+                                         data=f"d{comm.rank}")
+        return result
+
+    results = run_mpi(cluster, program, comms=comms)
+    assert results[0] == [f"d{r}" for r in range(4)]
+
+
+def test_scatterv_requires_sizes():
+    cluster = build_mesh((2,), wrap=False)
+
+    def program(comm):
+        with pytest.raises(MpiError):
+            yield from comm.scatterv(root=0, sizes=None)
+        yield comm.engine.sim.timeout(0)
+        return True
+
+    assert all(run_mpi(cluster, program))
+
+
+def test_scatterv_size_count_validated():
+    cluster = build_mesh((2,), wrap=False)
+
+    def program(comm):
+        if comm.rank == 0:
+            with pytest.raises(MpiError):
+                yield from comm.scatterv(root=0, sizes=[1, 2, 3],
+                                         data=None)
+        yield comm.engine.sim.timeout(0)
+        return True
+
+    assert all(run_mpi(cluster, program))

@@ -1,0 +1,98 @@
+"""Tests for MPI datatypes, ops, groups, and communicator validation."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import build_mesh, build_world
+from repro.errors import MpiError
+from repro.mpi import (
+    BYTE,
+    DOUBLE,
+    INT,
+    LAND,
+    MAX,
+    MIN,
+    PROD,
+    SUM,
+    Communicator,
+    Group,
+)
+from repro.mpi.datatypes import Datatype
+from repro.mpi.op import NULL
+
+
+def test_datatype_sizes():
+    assert BYTE.bytes_for(10) == 10
+    assert INT.bytes_for(3) == 12
+    assert DOUBLE.bytes_for(2) == 16
+
+
+def test_datatype_validation():
+    with pytest.raises(MpiError):
+        Datatype("bad", 0)
+    with pytest.raises(MpiError):
+        DOUBLE.bytes_for(-1)
+
+
+def test_ops_on_scalars():
+    assert SUM(2, 3) == 5
+    assert PROD(2, 3) == 6
+    assert MAX(2, 3) == 3
+    assert MIN(2, 3) == 2
+    assert bool(LAND(True, False)) is False
+
+
+def test_ops_on_arrays():
+    a = np.array([1.0, 5.0])
+    b = np.array([4.0, 2.0])
+    assert np.allclose(SUM(a, b), [5.0, 7.0])
+    assert np.allclose(MAX(a, b), [4.0, 5.0])
+
+
+def test_ops_identity_with_none():
+    assert SUM(None, 7) == 7
+    assert SUM(7, None) == 7
+    assert NULL(None, None) is None
+
+
+def test_group_mapping():
+    group = Group([5, 2, 9])
+    assert group.size == 3
+    assert group.world_rank(1) == 2
+    assert group.local_rank(9) == 2
+    assert group.contains(5)
+    assert not group.contains(7)
+    assert group.ranks() == (5, 2, 9)
+
+
+def test_group_validation():
+    with pytest.raises(MpiError):
+        Group([1, 1])
+    group = Group([0, 1])
+    with pytest.raises(MpiError):
+        group.world_rank(5)
+    with pytest.raises(MpiError):
+        group.local_rank(9)
+
+
+def test_group_subset():
+    group = Group([10, 20, 30, 40])
+    sub = group.subset([2, 0])
+    assert sub.ranks() == (30, 10)
+
+
+def test_communicator_requires_membership():
+    cluster = build_mesh((2,), wrap=False)
+    comms = build_world(cluster)
+    engine = comms[0].engine
+    with pytest.raises(MpiError):
+        Communicator(engine, Group([1]), context=9)
+
+
+def test_is_whole_torus():
+    cluster = build_mesh((2, 2))
+    comms = build_world(cluster)
+    assert comms[0].is_whole_torus
+    sub = comms[0].create([0, 1])
+    if sub is not None:
+        assert not sub.is_whole_torus

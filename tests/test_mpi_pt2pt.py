@@ -1,0 +1,188 @@
+"""Tests for MPI point-to-point semantics."""
+
+import pytest
+
+from repro.cluster import build_mesh, run_mpi
+from repro.errors import MessagingError, MpiError
+from repro.mpi import ANY_SOURCE, ANY_TAG, DOUBLE
+from repro.mpi.request import test as mpi_test, waitall
+
+
+def test_blocking_send_recv():
+    cluster = build_mesh((2,), wrap=False)
+
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.send(1, tag=3, nbytes=32, data="payload")
+            return "sent"
+        request = yield from comm.recv(source=0, tag=3, nbytes=64)
+        return request.received_data
+
+    assert run_mpi(cluster, program) == ["sent", "payload"]
+
+
+def test_count_datatype_sizing():
+    cluster = build_mesh((2,), wrap=False)
+
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.send(1, tag=1, count=10, datatype=DOUBLE)
+            return None
+        request = yield from comm.recv(source=0, tag=1, count=10,
+                                       datatype=DOUBLE)
+        return request.received_bytes
+
+    assert run_mpi(cluster, program)[1] == 80
+
+
+def test_nbytes_and_count_mutually_exclusive():
+    cluster = build_mesh((2,), wrap=False)
+
+    def program(comm):
+        if comm.rank == 0:
+            with pytest.raises(MpiError):
+                comm.isend(1, nbytes=10, count=5)
+            with pytest.raises(MpiError):
+                comm.isend(1)
+        yield comm.engine.sim.timeout(1)
+
+    run_mpi(cluster, program)
+
+
+def test_nonblocking_requests_and_test():
+    cluster = build_mesh((2,), wrap=False)
+
+    def program(comm):
+        if comm.rank == 0:
+            request = comm.isend(1, tag=1, nbytes=100)
+            yield from request.wait()
+            assert mpi_test(request)
+            return "ok"
+        request = comm.irecv(0, tag=1, nbytes=100)
+        assert not mpi_test(request)
+        yield from request.wait()
+        return "ok"
+
+    assert run_mpi(cluster, program) == ["ok", "ok"]
+
+
+def test_waitall():
+    cluster = build_mesh((2,), wrap=False)
+
+    def program(comm):
+        if comm.rank == 0:
+            sends = [comm.isend(1, tag=i, nbytes=64) for i in range(4)]
+            yield from waitall(sends)
+            return all(s.complete for s in sends)
+        recvs = [comm.irecv(0, tag=i, nbytes=64) for i in range(4)]
+        yield from waitall(recvs)
+        return all(r.complete for r in recvs)
+
+    assert run_mpi(cluster, program) == [True, True]
+
+
+def test_sendrecv_exchanges():
+    cluster = build_mesh((2,), wrap=True)
+
+    def program(comm):
+        peer = 1 - comm.rank
+        request = yield from comm.sendrecv(
+            dest=peer, source=peer, send_nbytes=16, recv_nbytes=64,
+            data=f"from{comm.rank}",
+        )
+        return request.received_data
+
+    assert run_mpi(cluster, program) == ["from1", "from0"]
+
+
+def test_wildcard_source_and_tag():
+    cluster = build_mesh((3,), wrap=True)
+
+    def program(comm):
+        if comm.rank == 0:
+            got = []
+            for _ in range(2):
+                request = yield from comm.recv(source=ANY_SOURCE,
+                                               tag=ANY_TAG, nbytes=64)
+                got.append((request.received_src, request.received_tag))
+            return sorted(got)
+        yield from comm.send(0, tag=10 + comm.rank, nbytes=8)
+        return None
+
+    results = run_mpi(cluster, program)
+    assert results[0] == [(1, 11), (2, 12)]
+
+
+def test_non_overtaking_same_pair():
+    cluster = build_mesh((2,), wrap=False)
+    count = 16
+
+    def program(comm):
+        if comm.rank == 0:
+            for index in range(count):
+                yield from comm.send(1, tag=5, nbytes=128, data=index)
+            return None
+        seen = []
+        for _ in range(count):
+            request = yield from comm.recv(source=0, tag=5, nbytes=256)
+            seen.append(request.received_data)
+        return seen
+
+    assert run_mpi(cluster, program)[1] == list(range(count))
+
+
+def test_tag_selectivity():
+    cluster = build_mesh((2,), wrap=False)
+
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.send(1, tag=1, nbytes=8, data="one")
+            yield from comm.send(1, tag=2, nbytes=8, data="two")
+            return None
+        second = yield from comm.recv(source=0, tag=2, nbytes=64)
+        first = yield from comm.recv(source=0, tag=1, nbytes=64)
+        return (first.received_data, second.received_data)
+
+    assert run_mpi(cluster, program)[1] == ("one", "two")
+
+
+def test_truncation_fails_receive():
+    cluster = build_mesh((2,), wrap=False)
+
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.send(1, tag=1, nbytes=1000)
+            return "sent"
+        request = comm.irecv(0, tag=1, nbytes=10)
+        with pytest.raises(MessagingError):
+            yield from request.wait()
+        return "failed"
+
+    assert run_mpi(cluster, program) == ["sent", "failed"]
+
+
+def test_distant_ranks_communicate():
+    cluster = build_mesh((3, 3), wrap=True)
+
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.send(8, tag=1, nbytes=64, data="corner")
+        elif comm.rank == 8:
+            request = yield from comm.recv(source=0, tag=1, nbytes=64)
+            return request.received_data
+        return None
+
+    assert run_mpi(cluster, program)[8] == "corner"
+
+
+def test_large_rendezvous_through_mpi():
+    cluster = build_mesh((2,), wrap=False)
+
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.send(1, tag=1, nbytes=500_000, data="big")
+            return None
+        request = yield from comm.recv(source=0, tag=1, nbytes=500_000)
+        return (request.received_bytes, request.received_data)
+
+    assert run_mpi(cluster, program)[1] == (500_000, "big")

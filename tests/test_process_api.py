@@ -1,0 +1,78 @@
+"""Tests for the SPMD runner and engine bring-up."""
+
+import pytest
+
+from repro.cluster import build_engines, build_mesh, build_world, run_mpi
+from repro.core.channel import Channel
+from repro.errors import ConfigurationError
+
+
+def test_engines_require_via_stack():
+    cluster = build_mesh((2,), wrap=False, stack="tcp")
+    with pytest.raises(ConfigurationError):
+        build_engines(cluster)
+
+
+def test_nearest_neighbor_channels_preestablished():
+    cluster = build_mesh((2, 2))
+    engines = build_engines(cluster)
+    for engine in engines:
+        for _direction, neighbor in cluster.torus.neighbors(engine.rank):
+            assert isinstance(engine.channels.get(neighbor), Channel)
+
+
+def test_lazy_bringup_option():
+    cluster = build_mesh((2, 2))
+    engines = build_engines(cluster, connect_neighbors=False)
+    assert all(not engine.channels for engine in engines)
+
+
+def test_run_mpi_returns_in_rank_order():
+    cluster = build_mesh((2, 2))
+
+    def program(comm):
+        yield comm.engine.sim.timeout(10 - comm.rank)
+        return comm.rank * 100
+
+    assert run_mpi(cluster, program) == [0, 100, 200, 300]
+
+
+def test_run_mpi_with_args():
+    cluster = build_mesh((2,), wrap=False)
+
+    def program(comm, offset, label):
+        yield comm.engine.sim.timeout(0)
+        return (comm.rank + offset, label)
+
+    assert run_mpi(cluster, program, args=(10, "x")) == [
+        (10, "x"), (11, "x")
+    ]
+
+
+def test_comms_reusable_across_runs():
+    cluster = build_mesh((2,), wrap=False)
+    comms = build_world(cluster)
+
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.send(1, tag=1, nbytes=8, data="ping")
+            return None
+        request = yield from comm.recv(source=0, tag=1, nbytes=64)
+        return request.received_data
+
+    first = run_mpi(cluster, program, comms=comms)
+    second = run_mpi(cluster, program, comms=comms)
+    assert first[1] == second[1] == "ping"
+
+
+def test_program_exception_propagates():
+    cluster = build_mesh((2,), wrap=False)
+
+    def program(comm):
+        yield comm.engine.sim.timeout(1)
+        if comm.rank == 1:
+            raise ValueError("rank 1 exploded")
+        return "ok"
+
+    with pytest.raises(ValueError, match="rank 1 exploded"):
+        run_mpi(cluster, program)

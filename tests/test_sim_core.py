@@ -1,0 +1,95 @@
+"""Tests for the simulator event loop."""
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim import Simulator
+
+
+def test_clock_starts_at_zero(sim):
+    assert sim.now == 0.0
+
+
+def test_run_until_advances_clock_without_events(sim):
+    assert sim.run(until=123.0) == 123.0
+    assert sim.now == 123.0
+
+
+def test_run_until_does_not_process_later_events(sim):
+    hits = []
+
+    def proc():
+        yield sim.timeout(10)
+        hits.append(sim.now)
+
+    sim.spawn(proc())
+    sim.run(until=5)
+    assert hits == []
+    assert sim.now == 5
+    sim.run()
+    assert hits == [10]
+
+
+def test_run_until_past_rejected(sim):
+    sim.run(until=10)
+    with pytest.raises(SimulationError):
+        sim.run(until=5)
+
+
+def test_step_on_empty_queue_raises(sim):
+    with pytest.raises(DeadlockError):
+        sim.step()
+
+
+def test_peek(sim):
+    assert sim.peek() == float("inf")
+    sim.timeout(7)
+    assert sim.peek() == 0.0 or sim.peek() == 7.0  # init event first
+    sim.run()
+    assert sim.peek() == float("inf")
+
+
+def test_schedule_into_past_rejected(sim):
+    event = sim.event()
+    with pytest.raises(SimulationError):
+        sim.schedule(event, delay=-1)
+
+
+def test_determinism_identical_runs():
+    def build():
+        sim = Simulator()
+        log = []
+
+        def worker(tag, delay):
+            for _ in range(5):
+                yield sim.timeout(delay)
+                log.append((tag, sim.now))
+
+        for tag, delay in (("a", 1.5), ("b", 2.0), ("c", 0.7)):
+            sim.spawn(worker(tag, delay))
+        sim.run()
+        return log
+
+    assert build() == build()
+
+
+def test_queue_length(sim):
+    sim.timeout(1)
+    sim.timeout(2)
+    assert sim.queue_length == 2
+    sim.run()
+    assert sim.queue_length == 0
+
+
+def test_active_process_visible_during_resume(sim):
+    seen = []
+
+    def proc():
+        seen.append(sim.active_process)
+        yield sim.timeout(1)
+        seen.append(sim.active_process)
+
+    process = sim.spawn(proc())
+    sim.run()
+    assert seen == [process, process]
+    assert sim.active_process is None

@@ -1,0 +1,59 @@
+"""Determinism property tests: identical configurations produce
+byte-identical simulated histories — the property every calibration
+number in EXPERIMENTS.md relies on."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bench.microbench import via_latency
+from repro.cluster import build_mesh, build_engines
+
+
+def test_via_latency_deterministic_across_runs():
+    assert via_latency(4, repeats=3) == via_latency(4, repeats=3)
+
+
+@given(st.lists(st.tuples(st.integers(0, 2),
+                          st.sampled_from([16, 2048, 20000])),
+                min_size=1, max_size=6))
+@settings(max_examples=10, deadline=None)
+def test_engine_timeline_deterministic(messages):
+    def run_once():
+        cluster = build_mesh((2,), wrap=False)
+        engines = build_engines(cluster)
+        sim = cluster.sim
+        recvs = [
+            engines[1].irecv(0, tag, 1, max(nbytes, 64))
+            for tag, nbytes in messages
+        ]
+        for index, (tag, nbytes) in enumerate(messages):
+            engines[0].isend(1, tag, 1, nbytes, data=index)
+        for request in recvs:
+            sim.run_until_complete(request, limit=1e7)
+        return [
+            (request.received_data, round(sim.now, 9))
+            for request in recvs
+        ], sim.now
+
+    first = run_once()
+    second = run_once()
+    assert first == second
+
+
+def test_collective_timeline_deterministic():
+    import numpy as np
+    from repro.cluster import build_world, run_mpi
+
+    def run_once():
+        cluster = build_mesh((2, 2))
+        comms = build_world(cluster)
+
+        def program(comm):
+            yield from comm.barrier()
+            value = yield from comm.allreduce(
+                nbytes=8, data=np.float64(comm.rank)
+            )
+            return (float(value), comm.engine.sim.now)
+
+        return run_mpi(cluster, program, comms=comms)
+
+    assert run_once() == run_once()

@@ -1,0 +1,177 @@
+"""Tests for generator-based processes."""
+
+import pytest
+
+from repro.errors import DeadlockError, InterruptError, SimulationError
+from repro.sim import Simulator
+from tests.conftest import run
+
+
+def test_process_returns_value(sim):
+    def proc():
+        yield sim.timeout(1)
+        return 99
+
+    assert run(sim, proc()) == 99
+
+
+def test_process_is_waitable_event(sim):
+    def child():
+        yield sim.timeout(3)
+        return "child-done"
+
+    def parent():
+        value = yield sim.spawn(child())
+        return (value, sim.now)
+
+    assert run(sim, parent()) == ("child-done", 3)
+
+
+def test_spawn_requires_generator(sim):
+    def not_a_generator():
+        return 1
+
+    with pytest.raises(SimulationError):
+        sim.spawn(not_a_generator)  # type: ignore[arg-type]
+
+
+def test_yield_non_event_fails_process(sim):
+    def bad():
+        yield 42
+
+    process = sim.spawn(bad())
+
+    def parent():
+        with pytest.raises(SimulationError):
+            yield process
+        return "ok"
+
+    assert run(sim, parent()) == "ok"
+
+
+def test_crash_without_waiter_surfaces(sim):
+    def bad():
+        yield sim.timeout(1)
+        raise RuntimeError("crash")
+
+    sim.spawn(bad())
+    # The original exception resurfaces from run(), annotated with the
+    # crashing process's name.
+    with pytest.raises(RuntimeError, match="crash"):
+        sim.run()
+
+
+def test_exception_delivered_to_waiter(sim):
+    def bad():
+        yield sim.timeout(1)
+        raise ValueError("inner")
+
+    process = sim.spawn(bad())
+
+    def parent():
+        with pytest.raises(ValueError):
+            yield process
+        return "caught"
+
+    assert run(sim, parent()) == "caught"
+
+
+def test_interrupt_throws_interrupt_error(sim):
+    record = {}
+
+    def sleeper():
+        try:
+            yield sim.timeout(100)
+        except InterruptError as exc:
+            record["cause"] = exc.cause
+            record["time"] = sim.now
+        return "done"
+
+    def killer(target):
+        yield sim.timeout(7)
+        target.interrupt("reason")
+
+    target = sim.spawn(sleeper())
+    sim.spawn(killer(target))
+    assert run(sim, _await(sim, target)) == "done"
+    assert record == {"cause": "reason", "time": 7}
+
+
+def _await(sim, process):
+    value = yield process
+    return value
+
+
+def test_interrupted_process_can_rewait(sim):
+    def sleeper():
+        timeout = sim.timeout(50)
+        try:
+            yield timeout
+        except InterruptError:
+            pass
+        # Wait on a fresh event; the old timeout firing later must not
+        # resume us incorrectly.
+        yield sim.timeout(100)
+        return sim.now
+
+    def killer(target):
+        yield sim.timeout(5)
+        target.interrupt()
+
+    target = sim.spawn(sleeper())
+    sim.spawn(killer(target))
+    assert run(sim, _await(sim, target)) == 105
+
+
+def test_interrupt_dead_process_rejected(sim):
+    def quick():
+        yield sim.timeout(1)
+
+    process = sim.spawn(quick())
+    sim.run()
+    with pytest.raises(SimulationError):
+        process.interrupt()
+
+
+def test_yield_already_processed_event(sim):
+    timeout = sim.timeout(1, value="old")
+    sim.run()
+
+    def proc():
+        value = yield timeout
+        return (value, sim.now)
+
+    # Resumes with the original value without time travel.
+    assert run(sim, proc()) == ("old", 1)
+
+
+def test_run_until_complete_deadlock_detection(sim):
+    def stuck():
+        yield sim.event("never")
+
+    process = sim.spawn(stuck())
+    with pytest.raises(DeadlockError):
+        sim.run_until_complete(process)
+
+
+def test_run_until_complete_limit(sim):
+    def slow():
+        yield sim.timeout(1000)
+
+    process = sim.spawn(slow())
+    with pytest.raises(SimulationError):
+        sim.run_until_complete(process, limit=10)
+
+
+def test_nested_subroutines_yield_from(sim):
+    def inner():
+        yield sim.timeout(2)
+        return "inner-value"
+
+    def outer():
+        value = yield from inner()
+        yield sim.timeout(1)
+        return value + "!"
+
+    assert run(sim, outer()) == "inner-value!"
+    assert sim.now == 3

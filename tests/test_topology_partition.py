@@ -1,0 +1,75 @@
+"""Tests for the OPT region partition."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TopologyError
+from repro.topology import Torus, partition_regions
+from repro.topology.partition import region_send_order
+
+DIMS = st.sampled_from([(4,), (8,), (3, 3), (8, 8), (2, 3, 4), (4, 4, 4)])
+
+
+@given(DIMS, st.data())
+@settings(max_examples=40, deadline=None)
+def test_partition_valid_for_any_root(dims, data):
+    torus = Torus(dims)
+    root = data.draw(st.integers(min_value=0, max_value=torus.size - 1))
+    partition = partition_regions(torus, root)
+    partition.validate()  # raises on any violation
+    covered = set()
+    for members in partition.regions.values():
+        covered.update(members)
+    assert covered == set(torus.ranks()) - {root}
+
+
+@given(DIMS)
+@settings(max_examples=20, deadline=None)
+def test_partition_roughly_balanced(dims):
+    torus = Torus(dims)
+    partition = partition_regions(torus, 0)
+    # "partitioned into roughly equal-size regions" (section 5.2); the
+    # greedy assignment gets within a couple of nodes on any torus.
+    assert partition.imbalance() <= 2
+
+
+def test_partition_exactly_balanced_on_paper_meshes():
+    for dims in ((8, 8), (4, 8, 8)):
+        partition = partition_regions(Torus(dims), 0)
+        assert partition.imbalance() <= 1
+
+
+def test_routes_start_on_region_link():
+    torus = Torus((8, 8))
+    partition = partition_regions(torus, 0)
+    for direction, members in partition.regions.items():
+        for rank in members:
+            assert partition.routes[rank][0].direction == direction
+
+
+def test_routes_are_minimal():
+    torus = Torus((4, 8, 8))
+    partition = partition_regions(torus, 0)
+    for rank, route in partition.routes.items():
+        assert len(route) == torus.distance(0, rank)
+
+
+def test_region_send_order_is_furthest_first():
+    torus = Torus((8, 8))
+    partition = partition_regions(torus, 0)
+    for members in region_send_order(partition).values():
+        distances = [torus.distance(0, rank) for rank in members]
+        assert distances == sorted(distances, reverse=True)
+
+
+def test_paper_cluster_partition():
+    torus = Torus((4, 8, 8))
+    partition = partition_regions(torus, 0)
+    assert partition.num_links == 6
+    assert partition.max_region_size() == 43  # ceil(255/6)
+    assert partition.min_region_size() == 42
+
+
+def test_bad_root_rejected():
+    with pytest.raises(TopologyError):
+        partition_regions(Torus((4, 4)), 99)

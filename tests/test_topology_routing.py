@@ -1,0 +1,83 @@
+"""Tests for SDF routing helpers."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TopologyError
+from repro.topology import (
+    Torus,
+    minimal_directions,
+    sdf_next_direction,
+    sdf_path,
+)
+from repro.topology.routing import path_via_first_direction
+
+DIMS = st.sampled_from([(4,), (8,), (3, 3), (4, 4), (8, 8), (2, 3, 4),
+                        (4, 8, 8)])
+
+
+@given(DIMS, st.data())
+@settings(max_examples=80, deadline=None)
+def test_sdf_path_is_minimal(dims, data):
+    torus = Torus(dims)
+    src = data.draw(st.integers(min_value=0, max_value=torus.size - 1))
+    dst = data.draw(st.integers(min_value=0, max_value=torus.size - 1))
+    path = sdf_path(torus, src, dst)
+    assert len(path) == torus.distance(src, dst)
+    # Walk it.
+    node = src
+    for step in path:
+        assert step.node == node
+        node = torus.neighbor(node, step.direction)
+    assert node == dst
+
+
+@given(DIMS, st.data())
+@settings(max_examples=80, deadline=None)
+def test_minimal_directions_reduce_distance(dims, data):
+    torus = Torus(dims)
+    src = data.draw(st.integers(min_value=0, max_value=torus.size - 1))
+    dst = data.draw(st.integers(min_value=0, max_value=torus.size - 1))
+    for direction in minimal_directions(torus, src, dst):
+        next_node = torus.neighbor(src, direction)
+        assert torus.distance(next_node, dst) == torus.distance(src, dst) - 1
+
+
+def test_sdf_picks_shortest_axis_first():
+    torus = Torus((8, 8))
+    src = torus.rank((0, 0))
+    dst = torus.rank((1, 3))  # x needs 1 step, y needs 3
+    direction = sdf_next_direction(torus, src, dst)
+    assert direction.axis == 0  # fewest remaining steps first
+
+
+def test_sdf_none_at_destination():
+    torus = Torus((4, 4))
+    assert sdf_next_direction(torus, 5, 5) is None
+
+
+def test_sdf_respects_forbidden():
+    torus = Torus((8, 8))
+    src, dst = torus.rank((0, 0)), torus.rank((1, 3))
+    first = sdf_next_direction(torus, src, dst)
+    second = sdf_next_direction(torus, src, dst, forbidden=[first])
+    assert second is not None
+    assert second.axis == 1
+
+
+def test_path_via_first_direction_validates():
+    torus = Torus((8, 8))
+    src, dst = torus.rank((0, 0)), torus.rank((2, 0))
+    good = minimal_directions(torus, src, dst)[0]
+    path = path_via_first_direction(torus, src, dst, good)
+    assert len(path) == 2
+    bad = good.opposite
+    with pytest.raises(TopologyError):
+        path_via_first_direction(torus, src, dst, bad)
+
+
+def test_wraparound_route_goes_short_way():
+    torus = Torus((8,))
+    path = sdf_path(torus, 0, 6)
+    assert len(path) == 2
+    assert all(step.direction.sign == -1 for step in path)

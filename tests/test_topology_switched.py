@@ -1,0 +1,44 @@
+"""Tests for the Clos fabric abstraction."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import ClosFabric
+
+
+def test_basic_properties():
+    fabric = ClosFabric(128)
+    assert fabric.size == 128
+    assert fabric.is_full_bisection()
+    assert fabric.num_leaves == 16  # 8 hosts per 16-port leaf
+
+
+def test_hop_counts():
+    fabric = ClosFabric(128)
+    assert fabric.switch_hops(0, 0) == 0
+    assert fabric.switch_hops(0, 1) == 1      # same leaf
+    assert fabric.switch_hops(0, 127) == 3    # leaf-spine-leaf
+    assert fabric.all_pairs_max_hops() == 3
+
+
+def test_single_leaf_cluster():
+    fabric = ClosFabric(8)
+    assert fabric.num_leaves == 1
+    assert fabric.all_pairs_max_hops() == 1
+
+
+def test_leaf_assignment_contiguous():
+    fabric = ClosFabric(32)
+    ports = fabric.ports()
+    assert ports[0] == (0, 0)
+    assert ports[8] == (8, 1)
+    assert len(ports) == 32
+
+
+def test_validation():
+    with pytest.raises(TopologyError):
+        ClosFabric(0)
+    with pytest.raises(TopologyError):
+        ClosFabric(8, radix=1)
+    with pytest.raises(TopologyError):
+        ClosFabric(8).leaf_of(99)

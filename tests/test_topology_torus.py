@@ -1,0 +1,137 @@
+"""Tests for torus geometry."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TopologyError
+from repro.topology import Direction, Torus
+
+DIMS = st.lists(st.integers(min_value=1, max_value=8), min_size=1,
+                max_size=4).filter(lambda d: 1 < _prod(d) <= 512)
+
+
+def _prod(values):
+    out = 1
+    for v in values:
+        out *= v
+    return out
+
+
+def test_paper_cluster_shapes():
+    a = Torus((4, 8, 8))
+    b = Torus((6, 8, 8))
+    assert a.size == 256
+    assert b.size == 384
+    assert a.num_ports == 6
+    assert a.diameter() == 2 + 4 + 4
+
+
+def test_invalid_dims():
+    with pytest.raises(TopologyError):
+        Torus(())
+    with pytest.raises(TopologyError):
+        Torus((4, 0))
+
+
+def test_rank_out_of_range():
+    torus = Torus((2, 2))
+    with pytest.raises(TopologyError):
+        torus.coords(4)
+    with pytest.raises(TopologyError):
+        torus.rank((2, 0))
+    with pytest.raises(TopologyError):
+        torus.rank((0,))
+
+
+@given(DIMS, st.data())
+@settings(max_examples=60, deadline=None)
+def test_rank_coords_roundtrip(dims, data):
+    torus = Torus(dims)
+    rank = data.draw(st.integers(min_value=0, max_value=torus.size - 1))
+    assert torus.rank(torus.coords(rank)) == rank
+
+
+@given(DIMS, st.data())
+@settings(max_examples=60, deadline=None)
+def test_distance_symmetric_and_bounded(dims, data):
+    torus = Torus(dims)
+    a = data.draw(st.integers(min_value=0, max_value=torus.size - 1))
+    b = data.draw(st.integers(min_value=0, max_value=torus.size - 1))
+    assert torus.distance(a, b) == torus.distance(b, a)
+    assert torus.distance(a, a) == 0
+    assert torus.distance(a, b) <= torus.diameter()
+
+
+@given(DIMS, st.data())
+@settings(max_examples=60, deadline=None)
+def test_neighbors_are_distance_one(dims, data):
+    torus = Torus(dims)
+    rank = data.draw(st.integers(min_value=0, max_value=torus.size - 1))
+    for _direction, neighbor in torus.neighbors(rank):
+        if neighbor != rank:
+            assert torus.distance(rank, neighbor) == 1
+
+
+def test_neighbor_wraparound():
+    torus = Torus((4,))
+    assert torus.neighbor(3, Direction(0, +1)) == 0
+    assert torus.neighbor(0, Direction(0, -1)) == 3
+
+
+def test_mesh_without_wrap_has_edges():
+    mesh = Torus((4,), wrap=False)
+    assert not mesh.has_neighbor(3, Direction(0, +1))
+    with pytest.raises(TopologyError):
+        mesh.neighbor(3, Direction(0, +1))
+    assert mesh.diameter() == 3
+
+
+def test_offset_prefers_short_way_around():
+    torus = Torus((8,))
+    assert torus.offset(0, 6) == (-2,)
+    assert torus.offset(0, 2) == (2,)
+    # Exact half-way ties resolve positive.
+    assert torus.offset(0, 4) == (4,)
+
+
+def test_direction_port_numbering():
+    assert Direction(0, +1).port == 0
+    assert Direction(0, -1).port == 1
+    assert Direction(2, +1).port == 4
+    assert Direction.from_port(5) == Direction(2, -1)
+    assert Direction(1, -1).opposite == Direction(1, +1)
+
+
+def test_direction_validation():
+    with pytest.raises(TopologyError):
+        Direction(0, 2)
+    with pytest.raises(TopologyError):
+        Direction(-1, 1)
+
+
+def test_axis_of_extent_one_has_no_links():
+    torus = Torus((1, 4))
+    assert torus.num_ports == 2
+    directions = torus.directions()
+    assert all(d.axis == 1 for d in directions)
+
+
+def test_projection():
+    torus = Torus((6, 8, 8))
+    projected = torus.project((1, 2))
+    assert projected.dims == (8, 8)
+    with pytest.raises(TopologyError):
+        torus.project((3,))
+
+
+def test_equality_and_hash():
+    assert Torus((2, 2)) == Torus((2, 2))
+    assert Torus((2, 2)) != Torus((2, 2), wrap=False)
+    assert len({Torus((2, 2)), Torus((2, 2))}) == 1
+
+
+def test_wrap_coords():
+    torus = Torus((4, 8))
+    assert torus.wrap_coords((-1, 9)) == (3, 1)
+    with pytest.raises(TopologyError):
+        Torus((4,), wrap=False).wrap_coords((5,))

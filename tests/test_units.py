@@ -1,0 +1,62 @@
+"""Tests for unit helpers and constants."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+
+
+def test_gige_wire_rate():
+    assert units.GIGE_WIRE_RATE == 125.0  # 1 Gb/s in bytes/us
+
+
+def test_ethernet_overhead_composition():
+    assert units.ETHERNET_WIRE_OVERHEAD == 14 + 4 + 8 + 12
+
+
+def test_frames_for_zero_is_one():
+    assert units.frames_for(0) == 1
+
+
+def test_frames_for_exact_multiple():
+    assert units.frames_for(units.ETHERNET_MTU) == 1
+    assert units.frames_for(units.ETHERNET_MTU + 1) == 2
+    assert units.frames_for(3 * units.ETHERNET_MTU) == 3
+
+
+@given(st.integers(min_value=1, max_value=10_000_000))
+def test_frames_cover_payload(nbytes):
+    frames = units.frames_for(nbytes)
+    assert (frames - 1) * units.ETHERNET_MTU < nbytes
+    assert frames * units.ETHERNET_MTU >= nbytes
+
+
+def test_wire_bytes_includes_per_frame_costs():
+    payload = 2 * 1458  # exactly two frames with a 42-byte header
+    total = units.wire_bytes(payload, per_frame_header=42)
+    assert total == payload + 2 * (units.ETHERNET_WIRE_OVERHEAD + 42)
+
+
+def test_wire_bytes_header_too_big():
+    with pytest.raises(ValueError):
+        units.wire_bytes(100, per_frame_header=units.ETHERNET_MTU)
+
+
+def test_serialization_time():
+    assert units.serialization_time(125, 125.0) == 1.0
+
+
+def test_bandwidth():
+    assert units.bandwidth_mbps(1000, 10) == 100.0
+
+
+def test_pretty_size():
+    assert units.pretty_size(16384) == "16K"
+    assert units.pretty_size(2_000_000) == "2M"
+    assert units.pretty_size(100) == "100"
+
+
+def test_pretty_time():
+    assert units.pretty_time(3.14159) == "3.14us"
+    assert units.pretty_time(2500) == "2.500ms"
+    assert units.pretty_time(3_000_000) == "3.000s"

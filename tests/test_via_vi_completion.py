@@ -1,0 +1,156 @@
+"""Tests for VI queue mechanics and completion queues."""
+
+import pytest
+
+from repro.cluster.builder import build_mesh
+from repro.errors import ViaDescriptorError
+from repro.via.completion import RECV_QUEUE, SEND_QUEUE
+from repro.via.descriptors import RecvDescriptor, SendDescriptor
+from tests.conftest import make_via_pair
+
+
+def test_post_recv_type_checked(via_pair):
+    _cluster, (vi0, r0), _end1 = via_pair
+    with pytest.raises(ViaDescriptorError):
+        vi0.post_recv(SendDescriptor(r0, 0, 10))  # type: ignore[arg-type]
+
+
+def test_post_recv_tag_checked():
+    cluster = build_mesh((2,), wrap=False, stack="via")
+    device = cluster.nodes[0].via
+    tag_a = device.create_protection_tag()
+    tag_b = device.create_protection_tag()
+    vi = device.create_vi(tag_a)
+    region_b = device.register_memory_now(4096, tag_b)
+    with pytest.raises(ViaDescriptorError):
+        vi.post_recv(RecvDescriptor(region_b, 0, 64))
+
+
+def test_post_send_type_checked(via_pair):
+    cluster, (vi0, r0), _end1 = via_pair
+
+    def bad():
+        yield from vi0.post_send(RecvDescriptor(r0, 0, 10))
+
+    with pytest.raises(ViaDescriptorError):
+        cluster.sim.run_until_complete(cluster.sim.spawn(bad()))
+
+
+def test_completion_queue_aggregates_vis():
+    cluster = build_mesh((2,), wrap=False, stack="via")
+    sim = cluster.sim
+    d0, d1 = cluster.nodes[0].via, cluster.nodes[1].via
+    t0, t1 = d0.create_protection_tag(), d1.create_protection_tag()
+    cq = d1.create_cq("test-cq")
+    vi0a, vi0b = d0.create_vi(t0), d0.create_vi(t0)
+    vi1a = d1.create_vi(t1, recv_cq=cq)
+    vi1b = d1.create_vi(t1, recv_cq=cq)
+    r0 = d0.register_memory_now(8192, t0)
+    r1 = d1.register_memory_now(8192, t1)
+    for vi_out, vi_in, disc in ((vi0a, vi1a, "a"), (vi0b, vi1b, "b")):
+        pa = sim.spawn(d0.agent.connect_request(vi_out, 1, disc))
+        pb = sim.spawn(d1.agent.connect_wait(vi_in, disc))
+        sim.run_until_complete(pa)
+        sim.run_until_complete(pb)
+    vi1a.post_recv(RecvDescriptor(r1, 0, 4096))
+    vi1b.post_recv(RecvDescriptor(r1, 4096, 4096))
+
+    def send_both():
+        yield from vi0a.post_send(SendDescriptor(r0, 0, 16, payload="A"))
+        yield from vi0b.post_send(SendDescriptor(r0, 0, 16, payload="B"))
+
+    def reap():
+        seen = []
+        for _ in range(2):
+            vi, queue, descriptor = yield from cq.wait()
+            seen.append((queue, descriptor.received_payload))
+        return seen
+
+    sim.spawn(send_both())
+    process = sim.spawn(reap())
+    seen = sim.run_until_complete(process)
+    assert sorted(payload for _q, payload in seen) == ["A", "B"]
+    assert all(queue == RECV_QUEUE for queue, _p in seen)
+
+
+def test_cq_poll_nonblocking():
+    cluster = build_mesh((2,), wrap=False, stack="via")
+    cq = cluster.nodes[0].via.create_cq()
+    assert cq.poll() is None
+    assert len(cq) == 0
+
+
+def test_recv_wait_with_cq_rejected():
+    cluster = build_mesh((2,), wrap=False, stack="via")
+    device = cluster.nodes[0].via
+    tag = device.create_protection_tag()
+    cq = device.create_cq()
+    vi = device.create_vi(tag, recv_cq=cq, send_cq=cq)
+
+    def bad_recv():
+        yield from vi.recv_wait()
+
+    def bad_send():
+        yield from vi.send_wait()
+
+    with pytest.raises(ViaDescriptorError):
+        cluster.sim.run_until_complete(cluster.sim.spawn(bad_recv()))
+    with pytest.raises(ViaDescriptorError):
+        cluster.sim.run_until_complete(cluster.sim.spawn(bad_send()))
+
+
+def test_stats_track_traffic(via_pair):
+    cluster, (vi0, r0), (vi1, r1) = via_pair
+    sim = cluster.sim
+    vi1.post_recv(RecvDescriptor(r1, 0, 4096))
+
+    def roundtrip():
+        yield from vi0.post_send(SendDescriptor(r0, 0, 1000))
+        yield from vi0.send_wait()
+
+    def receive():
+        yield from vi1.recv_wait()
+
+    sim.spawn(roundtrip())
+    process = sim.spawn(receive())
+    sim.run_until_complete(process)
+    assert vi0.stats["sends"] == 1
+    assert vi0.stats["send_bytes"] == 1000
+    assert vi1.stats["recvs"] == 1
+    assert vi1.stats["recv_bytes"] == 1000
+
+
+def test_vipl_facade_roundtrip():
+    from repro.via import vipl
+
+    cluster = build_mesh((2,), wrap=False, stack="via")
+    sim = cluster.sim
+    nic0, nic1 = cluster.nodes[0].via, cluster.nodes[1].via
+    ptag0, ptag1 = vipl.VipCreatePtag(nic0), vipl.VipCreatePtag(nic1)
+    vi0 = vipl.VipCreateVi(nic0, ptag0)
+    vi1 = vipl.VipCreateVi(nic1, ptag1)
+    state = {}
+
+    def setup():
+        state["m0"] = yield from vipl.VipRegisterMem(nic0, 65536, ptag0)
+        state["m1"] = yield from vipl.VipRegisterMem(nic1, 65536, ptag1)
+        sim.spawn(vipl.VipConnectWait(vi1, "facade"))
+        yield from vipl.VipConnectRequest(vi0, 1, "facade")
+
+    sim.run_until_complete(sim.spawn(setup()))
+
+    def receiver():
+        vipl.VipPostRecv(vi1, RecvDescriptor(state["m1"], 0, 4096))
+        descriptor = yield from vipl.VipRecvWait(vi1)
+        return descriptor.received_payload
+
+    def sender():
+        yield from vipl.VipPostSend(
+            vi0, SendDescriptor(state["m0"], 0, 256, payload="vipl")
+        )
+        yield from vipl.VipSendWait(vi0)
+
+    receive = sim.spawn(receiver())
+    sim.spawn(sender())
+    assert sim.run_until_complete(receive) == "vipl"
+    vipl.VipDeregisterMem(nic0, state["m0"])
