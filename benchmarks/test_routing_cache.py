@@ -1,0 +1,39 @@
+"""Routing-cache microbenchmark: hit rate on a fig6-style sweep.
+
+The packet switch resolves the same (torus, src, dst) routing queries
+once per frame per hop, so a scatter sweep (figure 6's workload — every
+destination, multi-fragment messages, multi-hop SDF routes) is the
+worst-case stress for the memoized routing layer.  This benchmark runs
+the sweep, prints the cache hit rates, and asserts the caches actually
+absorb the repeated queries.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench.harness import run_experiment
+from repro.topology import routing
+
+
+def test_routing_cache_hit_rate(benchmark, quick):
+    routing.clear_caches()
+    result = run_once(benchmark,
+                      lambda: run_experiment("fig6", quick=quick))
+    print()
+    print(result.render())
+
+    hits = routing.CACHE_STATS["hits"]
+    misses = routing.CACHE_STATS["misses"]
+    total = hits + misses
+    assert total > 0, "sweep never consulted the routing caches"
+    hit_rate = hits / total
+    print(f"routing caches: {hits} hits / {misses} misses "
+          f"({hit_rate:.1%} hit rate)")
+
+    # A (8, 8) sweep has at most 64*64 distinct pairs per cache, but the
+    # scatter pushes hundreds of frames across multi-hop routes: almost
+    # every query after warmup must be a hit.
+    assert hit_rate > 0.5
+
+    # The per-torus displacement memo behind distance()/offset() should
+    # be saturated as well; every experiment builds its own Torus, so
+    # find one through the miss count being bounded by the pair count.
+    assert misses <= 2 * 64 * 64

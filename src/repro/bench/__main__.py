@@ -1,16 +1,48 @@
 """CLI: ``python -m repro.bench <experiment ...> [--quick] [--csv]``.
 
 ``python -m repro.bench all`` runs everything (the full set takes a
-while; add ``--quick`` for the reduced sweeps).
+while; add ``--quick`` for the reduced sweeps).  ``--profile`` also
+records per-experiment wall-clock seconds and simulator event counts
+into ``BENCH_PERF.json``, keyed by whether the fast path was active —
+the file CI publishes to track the fast-path speedup.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 import time
 
 from repro.bench.harness import EXPERIMENTS, run_experiment
+
+
+def _write_profile(path: str, mode: str, profile: dict) -> None:
+    """Merge this run's numbers into ``path`` under ``mode``.
+
+    The file keeps both modes side by side so one CI job per mode can
+    fill it in; ``speedup`` is derived wherever both are present.
+    """
+    data = {}
+    if os.path.exists(path):
+        try:
+            with open(path) as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            data = {}
+    data.setdefault("fastpath_on", {})
+    data.setdefault("fastpath_off", {})
+    data[mode].update(profile)
+    speedups = {}
+    for name, on in data["fastpath_on"].items():
+        off = data["fastpath_off"].get(name)
+        if off and on["wall_s"] > 0:
+            speedups[name] = round(off["wall_s"] / on["wall_s"], 2)
+    data["speedup"] = speedups
+    with open(path, "w") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 def main(argv=None) -> int:
@@ -26,19 +58,35 @@ def main(argv=None) -> int:
                         help="reduced sweeps (CI-sized)")
     parser.add_argument("--csv", action="store_true",
                         help="emit CSV instead of tables")
+    parser.add_argument("--profile", action="store_true",
+                        help="record wall-clock and event counts into "
+                             "BENCH_PERF.json")
     args = parser.parse_args(argv)
 
     names = list(args.experiments)
     if names == ["all"]:
         names = list(EXPERIMENTS)
+    profile = {}
     for name in names:
+        from repro.sim import core as sim_core
+
+        events_before = sim_core.TOTAL_EVENTS
         started = time.time()
         result = run_experiment(name, quick=args.quick)
+        wall = time.time() - started
         output = result.csv() if args.csv else result.render()
         sys.stdout.write(output)
-        sys.stdout.write(
-            f"[{name}: {time.time() - started:.1f}s wall]\n\n"
-        )
+        sys.stdout.write(f"[{name}: {wall:.1f}s wall]\n\n")
+        profile[name] = {
+            "wall_s": round(wall, 3),
+            "events": sim_core.TOTAL_EVENTS - events_before,
+            "quick": args.quick,
+        }
+    if args.profile:
+        from repro import fastpath
+
+        mode = "fastpath_on" if fastpath.enabled() else "fastpath_off"
+        _write_profile("BENCH_PERF.json", mode, profile)
     return 0
 
 

@@ -1,0 +1,50 @@
+"""Global switch for the steady-state fast path.
+
+The simulator carries two execution strategies for several hot paths
+(zero-delay event queues, callback-based bus wakeups and link
+deliveries, and the frame-train bulk transmit in
+:mod:`repro.hw.fastpath`).  Both strategies must produce bit-identical
+experiment tables; the per-event reference path stays authoritative and
+``tests/test_fastpath_equivalence.py`` pins the equivalence.
+
+The switch is sampled when a :class:`~repro.sim.Simulator` is created,
+so flipping it mid-simulation has no effect on existing simulators.
+
+Disable with ``REPRO_FASTPATH=0`` in the environment, or from code::
+
+    from repro import fastpath
+    with fastpath.force(False):
+        ...build and run a reference simulation...
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+_FALSY = ("0", "false", "off", "no")
+
+_state = {
+    "enabled": os.environ.get("REPRO_FASTPATH", "1").strip().lower()
+    not in _FALSY,
+}
+
+
+def enabled() -> bool:
+    """Whether new simulators use the fast path."""
+    return _state["enabled"]
+
+
+def set_enabled(value: bool) -> None:
+    _state["enabled"] = bool(value)
+
+
+@contextmanager
+def force(value: bool):
+    """Temporarily force the fast path on or off (tests/benchmarks)."""
+    previous = _state["enabled"]
+    _state["enabled"] = bool(value)
+    try:
+        yield
+    finally:
+        _state["enabled"] = previous

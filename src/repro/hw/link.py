@@ -18,6 +18,7 @@ from typing import Any, Callable, Optional, TYPE_CHECKING
 
 from repro.errors import ConfigurationError
 from repro.sim import Resource, Simulator
+from repro.sim.events import Callback
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.hw.nic import GigEPort
@@ -55,7 +56,7 @@ class Frame:
     on_fetched: Optional[Callable[[], None]] = None
     #: Set by fault injection: the frame was damaged on the wire.
     corrupted: bool = False
-    frame_id: int = field(default_factory=lambda: next(_frame_ids))
+    frame_id: int = field(default_factory=_frame_ids.__next__)
 
     def wire_bytes(self, frame_overhead: int, min_frame: int = 64) -> int:
         """Total serialized bytes including Ethernet framing."""
@@ -138,10 +139,37 @@ class Link:
                 self.stats["corrupted"][side] += 1
         finally:
             line.release(req)
-        self.sim.spawn(
-            self._deliver(peer, frame), name=f"{self.name}:deliver"
-        )
+        if self.sim._fast:
+            # One queue entry instead of a spawned delivery process;
+            # lands at the identical instant.
+            Callback(self.sim, lambda: peer.frame_arrived(frame),
+                     delay=self.propagation)
+        else:
+            self.sim.spawn(
+                self._deliver(peer, frame), name=f"{self.name}:deliver"
+            )
 
     def _deliver(self, peer: "GigEPort", frame: Frame):
         yield self.sim.timeout(self.propagation)
         peer.frame_arrived(frame)
+
+    def complete_tx(self, side: int, frame: Frame) -> None:
+        """Fast-path epilogue of :meth:`transmit`.
+
+        The caller has already waited out the serialization time; this
+        applies the same stats, fault injection, and delivery schedule
+        as the reference path at the identical instant.  The line
+        resource is not cycled — the wire loop is its only requester,
+        so the grant is unconditional; the grant counter is kept in
+        sync for stats parity.
+        """
+        peer = self.peer(side)
+        self._lines[side].stats["grants"] += 1
+        self.stats["frames"][side] += 1
+        self.stats["bytes"][side] += frame.payload_bytes
+        if (self.corrupt_every is not None
+                and self.stats["frames"][side] % self.corrupt_every == 0):
+            frame.corrupted = True
+            self.stats["corrupted"][side] += 1
+        Callback(self.sim, lambda: peer.frame_arrived(frame),
+                 delay=self.propagation)

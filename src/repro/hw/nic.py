@@ -32,6 +32,10 @@ from __future__ import annotations
 from typing import Callable, Generator, Optional
 
 from repro.errors import ConfigurationError
+from repro.hw.fastpath import (
+    HARMLESS, FrameTrain, TRAIN_MIN_FRAMES, TrainCallback, commit_train,
+    plan_train,
+)
 from repro.hw.link import Frame, Link
 from repro.hw.node import Host, PRIO_IRQ
 from repro.hw.params import GigEParams
@@ -65,10 +69,16 @@ class GigEPort:
         self._rx_arrivals = Store(sim, name=f"{name}:rxarr")
         self._pending_frames: list = []
         self._irq_timer_deadline: Optional[float] = None
+        self._irq_timer_cb: Optional[TrainCallback] = None
         self._driver: Optional[Callable[[Frame], Generator]] = None
+        #: Frames hidden inside queued FrameTrains (ring-level parity).
+        self._tx_extra = 0
+        #: Residue of the last committed train (see hw.fastpath).
+        self._virt = None
         self.stats = {
             "tx_frames": 0, "rx_frames": 0, "interrupts": 0,
             "tx_bytes": 0, "rx_bytes": 0, "rx_stalls": 0,
+            "trains": 0, "train_frames": 0, "train_fallbacks": 0,
         }
         for _ in range(params.rx_ring):
             self.rx_credits.items.append(1)
@@ -99,26 +109,117 @@ class GigEPort:
 
     def try_enqueue_tx(self, frame: Frame) -> bool:
         """Non-blocking ring post; False if the ring is full."""
-        if len(self.tx_queue) >= self.tx_queue.capacity:
+        if (len(self.tx_queue) + self._tx_extra
+                >= self.tx_queue.capacity):
             return False
         self.tx_queue.items.append(frame)
         self.tx_queue._dispatch()
         return True
 
+    def send_frames(self, frames: list):
+        """Process: enqueue a frame burst; as one train when eligible.
+
+        Reference semantics are a per-frame ring put; the train is a
+        fast-path container the fetch stage either plans analytically
+        (see :mod:`repro.hw.fastpath`) or unbundles into the identical
+        per-frame path.  The whole burst must fit the ring — a burst
+        that would block mid-way keeps the per-frame puts.
+        """
+        tx_queue = self.tx_queue
+        if (self.sim._fast and len(frames) >= TRAIN_MIN_FRAMES
+                and not tx_queue._putters
+                and len(tx_queue.items) + self._tx_extra + len(frames)
+                <= tx_queue.capacity):
+            self._tx_extra += len(frames) - 1
+            tx_queue.stats["puts"] += len(frames) - 1
+            yield tx_queue.put(FrameTrain(frames))
+            return
+        for frame in frames:
+            yield tx_queue.put(frame)
+
     def _tx_fetch_loop(self):
-        params = self.params
+        sim = self.sim
+        tx_queue = self.tx_queue
         while True:
-            frame = yield self.tx_queue.get()
-            wire = frame.wire_bytes(params.frame_overhead)
-            yield from self.host.dma(wire, self.pci_index)
-            if frame.on_fetched is not None:
-                frame.on_fetched()
-            yield self._tx_fifo.put(frame)
+            frame = tx_queue.try_get() if sim._fast else None
+            if frame is None:
+                frame = yield tx_queue.get()
+            if type(frame) is FrameTrain:
+                frames = frame.frames
+                self._tx_extra -= len(frames) - 1
+                tx_queue.stats["gets"] += len(frames) - 1
+                # Let same-instant bookkeeping (the enqueueing
+                # process's continuation, completion plumbing) drain
+                # before judging quiescence.
+                spins = 0
+                while (sim._urgent or sim._normal) and spins < 8:
+                    spins += 1
+                    yield sim.timeout(0)
+                plan = plan_train(self, frames)
+                if plan is None:
+                    self.stats["train_fallbacks"] += 1
+                    for item in frames:
+                        yield from self._fetch_one(item)
+                    continue
+                self.stats["trains"] += 1
+                self.stats["train_frames"] += len(frames)
+                commit_train(self, frames, plan)
+                # Park until the reference fetch stage would return to
+                # the ring (its last FIFO put).
+                yield sim.sleep_until(plan.fetch_free)
+                continue
+            yield from self._fetch_one(frame)
+
+    def _fetch_one(self, frame: Frame):
+        sim = self.sim
+        fifo = self._tx_fifo
+        wire = frame.wire_bytes(self.params.frame_overhead)
+        yield from self.host.dma(wire, self.pci_index)
+        if frame.on_fetched is not None:
+            frame.on_fetched()
+        virt = self._virt
+        if virt is not None:
+            # FIFO slots still virtually held by a committed train
+            # count against the put, at their planned pop instants.
+            while (len(fifo.items) + virt.occupancy(sim._now)
+                    >= fifo.capacity and virt.free_at):
+                yield sim.sleep_until(virt.free_at[0])
+        if not (sim._fast and fifo.try_put(frame)):
+            yield fifo.put(frame)
 
     def _tx_wire_loop(self):
         params = self.params
+        sim = self.sim
+        fifo = self._tx_fifo
         while True:
-            frame = yield self._tx_fifo.get()
+            frame = fifo.try_get() if sim._fast else None
+            if frame is None:
+                frame = yield fifo.get()
+            if self.link is None:
+                raise ConfigurationError(f"{self.name} has no link")
+            if sim._fast and params.hw_checksum:
+                virt = self._virt
+                if virt is not None:
+                    if sim._now < virt.wire_ready:
+                        # The virtual wire is still draining a train:
+                        # this frame starts only once it frees, and its
+                        # FIFO slot (popped early here) stays occupied
+                        # until then for fetch backpressure.
+                        virt.free_at.append(virt.wire_ready)
+                        yield sim.sleep_until(virt.wire_ready)
+                    self._virt = None
+                # Per-descriptor processing and serialization are two
+                # back-to-back waits with nothing observable between
+                # them (the line has no other requester), so fold them
+                # into one absolute wakeup.  The additions mirror the
+                # two timeout schedules of the reference path exactly.
+                start = sim._now + params.tx_proc
+                done = start + self.link.serialization_time(frame)
+                yield sim.sleep_until(done)
+                self.stats["tx_frames"] += 1
+                self.stats["tx_bytes"] += frame.payload_bytes
+                self.link.complete_tx(self.side, frame)
+                continue
             # Per-descriptor NIC processing is serial with the wire:
             # this is the ~0.9us that caps a saturated link at ~110 MB/s
             # of user payload (paper section 4.1).
@@ -129,8 +230,6 @@ class GigEPort:
                     * (frame.payload_bytes + frame.header_bytes),
                     PRIO_IRQ,
                 )
-            if self.link is None:
-                raise ConfigurationError(f"{self.name} has no link")
             self.stats["tx_frames"] += 1
             self.stats["tx_bytes"] += frame.payload_bytes
             yield from self.link.transmit(self.side, frame)
@@ -153,12 +252,21 @@ class GigEPort:
 
     def _rx_loop(self):
         params = self.params
+        sim = self.sim
+        arrivals = self._rx_arrivals
+        credits = self.rx_credits
         while True:
-            frame = yield self._rx_arrivals.get()
-            yield self.sim.timeout(params.rx_proc)
-            if len(self.rx_credits) == 0:
+            frame = arrivals.try_get() if sim._fast else None
+            if frame is None:
+                frame = yield arrivals.get()
+            yield sim.timeout(params.rx_proc)
+            if len(credits) == 0:
                 self.stats["rx_stalls"] += 1
-            yield self.rx_credits.get()
+                yield credits.get()
+            elif sim._fast:
+                credits.try_get()
+            else:
+                yield credits.get()
             wire = frame.wire_bytes(params.frame_overhead)
             yield from self.host.dma(wire, self.pci_index)
             self.stats["rx_frames"] += 1
@@ -167,17 +275,36 @@ class GigEPort:
             if len(self._pending_frames) >= params.coalesce_frames:
                 self._fire_irq()
             elif self._irq_timer_deadline is None:
-                deadline = self.sim.now + params.coalesce_delay
+                deadline = sim.now + params.coalesce_delay
                 self._irq_timer_deadline = deadline
-                self.sim.spawn(self._irq_timer(deadline),
-                               name=f"{self.name}:irqtimer")
+                if sim._fast:
+                    # Same fire instant as the spawned timer: the delay
+                    # expression matches _irq_timer's timeout op-for-op
+                    # (the spawn's init event runs at this same instant).
+                    self._irq_timer_cb = TrainCallback(
+                        sim, lambda: self._irq_timer_fired(deadline),
+                        delay=max(0.0, deadline - sim.now))
+                else:
+                    sim.spawn(self._irq_timer(deadline),
+                              name=f"{self.name}:irqtimer")
+
+    def _irq_timer_fired(self, deadline: float) -> None:
+        if self._irq_timer_deadline == deadline:
+            self._irq_timer_cb = None
+            if self._pending_frames:
+                self._fire_irq()
 
     def _irq_timer(self, deadline: float):
         yield self.sim.timeout(max(0.0, deadline - self.sim.now))
-        if self._irq_timer_deadline == deadline and self._pending_frames:
-            self._fire_irq()
+        self._irq_timer_fired(deadline)
 
     def _fire_irq(self) -> None:
+        if self._irq_timer_cb is not None:
+            # Preempted by the frame-count threshold: the queued timer
+            # callback will fire as a deadline-mismatch no-op, so the
+            # train guard may ignore it.
+            self._irq_timer_cb.guard_scope = HARMLESS
+            self._irq_timer_cb = None
         self._irq_timer_deadline = None
         if not self._pending_frames:
             return
@@ -189,7 +316,8 @@ class GigEPort:
             )
         # Hand the batch to the host's shared interrupt dispatcher —
         # one CPU entry services pending frames from every port.
-        self.host.irq.raise_irq([(self._driver, f) for f in frames])
+        self.host.irq.raise_irq([(self._driver, f) for f in frames],
+                                source=self.name)
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"GigEPort({self.name})"

@@ -25,6 +25,7 @@ statistics only.
 
 from __future__ import annotations
 
+import heapq
 from typing import List, Optional
 
 from repro.errors import ConfigurationError
@@ -56,12 +57,24 @@ class IrqController:
     def __init__(self, host: "Host") -> None:
         self.host = host
         self._pending = []
+        self._seq = 0
         self._running = False
         self.stats = {"entries": 0, "items": 0, "polls": 0}
 
-    def raise_irq(self, items) -> None:
-        """Queue work items: iterable of (generator_fn, frame)."""
-        self._pending.extend(items)
+    def raise_irq(self, items, source: str = "") -> None:
+        """Queue work items: iterable of (generator_fn, frame).
+
+        ``source`` is a stable device key.  Same-instant work from
+        different devices is serviced in (time, source) order — a fixed
+        hardware service discipline, so the order frames reach their
+        drivers does not depend on event-queue internals (both
+        execution strategies of :mod:`repro.fastpath` must agree on
+        it).
+        """
+        now = self.host.sim._now
+        for item in items:
+            self._seq += 1
+            heapq.heappush(self._pending, (now, source, self._seq) + item)
         if not self._running and self._pending:
             self._running = True
             self.host.sim.spawn(
@@ -70,18 +83,28 @@ class IrqController:
 
     def _dispatch(self):
         host = self.host
-        req = host.cpu.request(PRIO_IRQ)
-        yield req
+        req = (host.cpu.try_acquire(PRIO_IRQ)
+               if host.sim._fast else None)
+        if req is None:
+            req = host.cpu.request(PRIO_IRQ)
+            yield req
         try:
             self.stats["entries"] += 1
             yield host.sim.timeout(host.params.interrupt_cost)
+            per_frame = host.params.interrupt_per_frame
             while True:
                 while self._pending:
-                    handler, frame = self._pending.pop(0)
+                    handler, frame = heapq.heappop(self._pending)[3:]
                     self.stats["items"] += 1
-                    yield host.sim.timeout(
-                        host.params.interrupt_per_frame
-                    )
+                    if (host.sim._fast
+                            and getattr(handler, "folds_irq_cost", False)):
+                        # The driver folds the per-frame cost into its
+                        # own first wait (see KernelAgent.handle_frame).
+                        yield from handler(
+                            frame, host.sim._now + per_frame
+                        )
+                        continue
+                    yield host.sim.timeout(per_frame)
                     yield from handler(frame)
                 # NAPI-style mitigation (the paper's section 7 second
                 # item): keep polling briefly instead of re-arming the
@@ -159,19 +182,49 @@ class Host:
         self.stats["copies"] += 1
         self.stats["copy_bytes"] += nbytes
         weight = self.params.copy_bus_weight
+        fused = self.sim._fast and nbytes > 0 and self.membus.setup
         if hold_cpu:
-            req = self.cpu.request(priority)
-            yield req
+            req = self.cpu.try_acquire(priority) if self.sim._fast else None
+            if req is None:
+                req = self.cpu.request(priority)
+                yield req
             try:
-                yield from self.membus.transfer(
-                    nbytes, rate_cap=self.params.copy_rate, weight=weight
-                )
+                if fused:
+                    yield self.membus.transfer_event(
+                        nbytes, rate_cap=self.params.copy_rate,
+                        weight=weight,
+                    )
+                else:
+                    yield from self.membus.transfer(
+                        nbytes, rate_cap=self.params.copy_rate,
+                        weight=weight,
+                    )
             finally:
                 self.cpu.release(req)
+        elif fused:
+            yield self.membus.transfer_event(
+                nbytes, rate_cap=self.params.copy_rate, weight=weight
+            )
         else:
             yield from self.membus.transfer(
                 nbytes, rate_cap=self.params.copy_rate, weight=weight
             )
+
+    def copy_at(self, nbytes: float, when: float):
+        """Fast-path IRQ-level copy whose bus join starts at ``when``.
+
+        Equivalent to waiting until ``when`` and then running
+        ``copy(nbytes, hold_cpu=False)``: callers that sit on a fixed
+        delay before the copy (the rx demux cost) fold the wait into
+        the transfer's setup Callback.  Returns the completion event.
+        """
+        self.stats["copies"] += 1
+        self.stats["copy_bytes"] += nbytes
+        return self.membus.transfer_event(
+            nbytes, rate_cap=self.params.copy_rate,
+            weight=self.params.copy_bus_weight,
+            at=when + self.membus.setup,
+        )
 
     def copy_time(self, nbytes: float) -> float:
         """Uncontended duration of a copy (for analytic models)."""
@@ -192,7 +245,10 @@ class Host:
         self.stats["dmas"] += 1
         self.stats["dma_bytes"] += nbytes
         self.pci_bytes[pci_index] += nbytes
-        yield from self.membus.transfer(nbytes, rate_cap=PCIX_RATE)
+        if self.sim._fast and nbytes > 0 and self.membus.setup:
+            yield self.membus.transfer_event(nbytes, rate_cap=PCIX_RATE)
+        else:
+            yield from self.membus.transfer(nbytes, rate_cap=PCIX_RATE)
         return nbytes
 
     def interrupt_entry_cost(self) -> float:

@@ -20,6 +20,7 @@ from typing import List, Optional
 
 from repro.errors import ConfigurationError
 from repro.sim import Simulator
+from repro.sim.events import Callback
 
 #: Residual bytes below this complete immediately (a millionth of a
 #: byte).  Must be comfortably above accumulated float error so a
@@ -59,6 +60,15 @@ class BandwidthBus:
         self._flows: List[_Flow] = []
         self._last_update = 0.0
         self._wake_generation = 0
+        #: Fast-path wake bookkeeping: the currently valid wake target
+        #: and the fire times of outstanding wake callbacks.  Invariant
+        #: while flows are active: some outstanding time <= the target.
+        self._wake_time = 0.0
+        self._wake_times: List[float] = []
+        #: Transfers past the entry checks but not yet completed; covers
+        #: the setup window before the flow is appended, so the frame
+        #: train planner can prove the bus fully idle.
+        self._entered = 0
         self.stats = {"transfers": 0, "bytes": 0.0, "max_concurrency": 0}
 
     # -- public API ------------------------------------------------------------
@@ -91,19 +101,72 @@ class BandwidthBus:
             raise ConfigurationError(f"weight must be > 0, got {weight}")
         self.stats["transfers"] += 1
         self.stats["bytes"] += nbytes
-        if self.setup:
-            yield self.sim.timeout(self.setup)
-        if nbytes == 0:
-            return 0.0
-        done = self.sim.event(name=f"{self.name}:xfer")
+        self._entered += 1
+        try:
+            if self.setup:
+                yield self.sim.timeout(self.setup)
+            if nbytes == 0:
+                return 0.0
+            done = self.sim.event(
+                name=f"{self.name}:xfer" if self.sim.trace is not None
+                else ""
+            )
+            flow = _Flow(nbytes, rate_cap, weight, done)
+            self._settle()
+            self._flows.append(flow)
+            if len(self._flows) > self.stats["max_concurrency"]:
+                self.stats["max_concurrency"] = len(self._flows)
+            self._reallocate()
+            yield done
+        finally:
+            self._entered -= 1
+        return nbytes
+
+    def transfer_event(self, nbytes: float,
+                       rate_cap: Optional[float] = None,
+                       weight: float = 1.0,
+                       at: Optional[float] = None):
+        """Fast-path transfer: returns the completion Event directly.
+
+        Same validation, stats, and timing as :meth:`transfer`, but the
+        setup wait and the flow join are fused into one Callback (the
+        join runs at the instant the reference path's setup timeout
+        would resume), so the caller suspends once instead of twice.
+        Requires ``setup > 0`` and ``nbytes > 0`` — other cases keep
+        the generator path.  ``at`` overrides the join instant for
+        callers that fold a preceding fixed delay into the transfer
+        (it must equal the reference path's float-rounded instant).
+        """
+        if nbytes <= 0:
+            raise ConfigurationError(f"non-positive transfer size {nbytes}")
+        if rate_cap is not None and rate_cap <= 0:
+            raise ConfigurationError(f"rate cap must be > 0, got {rate_cap}")
+        if weight <= 0:
+            raise ConfigurationError(f"weight must be > 0, got {weight}")
+        self.stats["transfers"] += 1
+        self.stats["bytes"] += nbytes
+        self._entered += 1
+        done = self.sim.event(
+            name=f"{self.name}:xfer" if self.sim.trace is not None else ""
+        )
+        done.callbacks.append(self._transfer_done)
         flow = _Flow(nbytes, rate_cap, weight, done)
+        if at is not None:
+            Callback(self.sim, lambda: self._join(flow), at=at)
+        else:
+            Callback(self.sim, lambda: self._join(flow), delay=self.setup)
+        return done
+
+    def _join(self, flow: _Flow) -> None:
+        """Admit a fused-path flow (the post-setup half of transfer)."""
         self._settle()
         self._flows.append(flow)
         if len(self._flows) > self.stats["max_concurrency"]:
             self.stats["max_concurrency"] = len(self._flows)
         self._reallocate()
-        yield done
-        return nbytes
+
+    def _transfer_done(self, _event) -> None:
+        self._entered -= 1
 
     # -- fluid mechanics ---------------------------------------------------
     def _settle(self) -> None:
@@ -124,43 +187,116 @@ class BandwidthBus:
             if flow.remaining <= _EPS:
                 flow.remaining = 0.0
                 finished.append(flow)
+        if not finished:
+            return
         for flow in finished:
             self._flows.remove(flow)
-            flow.done.succeed()
+        if self.sim._fast:
+            # Completion runs the done event's callbacks inline instead
+            # of round-tripping through the zero-delay queue.  The queue
+            # position is identical: a completion instant drains the
+            # urgent queue before this (NORMAL) wake fires, so the done
+            # event would be at the queue head anyway, and callbacks of
+            # multiple finished flows run in the same FIFO order.  All
+            # flows are unlinked above before any callback runs, so a
+            # re-entrant _settle from a continuation sees a consistent
+            # flow list (and elapsed == 0 makes it a no-op).
+            for flow in finished:
+                done = flow.done
+                done._ok = True
+                done._value = None
+                callbacks, done.callbacks = done.callbacks, None
+                done._processed = True
+                for callback in callbacks:
+                    callback(done)
+        else:
+            for flow in finished:
+                flow.done.succeed()
 
     def _reallocate(self) -> None:
         """Water-fill the rate over active flows; schedule next wake."""
         flows = self._flows
         if not flows:
             return
-        budget = self.rate
-        pending = list(flows)
-        while pending:
-            total_weight = sum(f.weight for f in pending)
-            unit = budget / total_weight
-            capped = [
-                f for f in pending
-                if f.cap is not None and f.cap < f.weight * unit
-            ]
-            if not capped:
-                for f in pending:
-                    f.rate = f.weight * unit
-                break
-            for f in capped:
-                f.rate = f.cap
-                budget -= f.cap
-                pending.remove(f)
-        horizon = max(min(f.remaining / f.rate for f in flows),
-                      _MIN_HORIZON)
+        if len(flows) == 1:
+            # Same arithmetic as the general loop specialized to one
+            # flow (sum of one weight and min over one flow are exact),
+            # skipping the list copies and generator overhead.
+            f = flows[0]
+            unit = self.rate / f.weight
+            share = f.weight * unit
+            cap = f.cap
+            f.rate = cap if (cap is not None and cap < share) else share
+            horizon = f.remaining / f.rate
+            if horizon < _MIN_HORIZON:
+                horizon = _MIN_HORIZON
+        else:
+            budget = self.rate
+            pending = list(flows)
+            while pending:
+                total_weight = sum(f.weight for f in pending)
+                unit = budget / total_weight
+                capped = [
+                    f for f in pending
+                    if f.cap is not None and f.cap < f.weight * unit
+                ]
+                if not capped:
+                    for f in pending:
+                        f.rate = f.weight * unit
+                    break
+                for f in capped:
+                    f.rate = f.cap
+                    budget -= f.cap
+                    pending.remove(f)
+            horizon = max(min(f.remaining / f.rate for f in flows),
+                          _MIN_HORIZON)
         self._wake_generation += 1
-        self.sim.spawn(
-            self._wake(self._wake_generation, horizon),
-            name=f"{self.name}:wake",
-        )
+        if self.sim._fast:
+            # Reuse an outstanding wake when one already fires at or
+            # before the new target: it re-arms itself on a stale fire
+            # (see _on_wake_fast), so settle/reallocate still run at
+            # exactly the valid instant but membership churn no longer
+            # strands a dead callback per reallocation.
+            self._wake_time = target = self.sim._now + horizon
+            for t in self._wake_times:
+                if t <= target:
+                    return
+            self._wake_times.append(target)
+            Callback(self.sim, self._on_wake_fast, at=target)
+        else:
+            self.sim.spawn(
+                self._wake(self._wake_generation, horizon),
+                name=f"{self.name}:wake",
+            )
 
-    def _wake(self, generation: int, delay: float):
-        yield self.sim.timeout(delay)
+    def _on_wake(self, generation: int) -> None:
         if generation != self._wake_generation:
             return  # superseded by a membership change
         self._settle()
         self._reallocate()
+
+    def _on_wake_fast(self) -> None:
+        now = self.sim._now
+        times = self._wake_times
+        try:
+            times.remove(now)
+        except ValueError:  # pragma: no cover - defensive
+            pass
+        if not self._flows:
+            return
+        target = self._wake_time
+        if now >= target:
+            self._settle()
+            self._reallocate()
+            return
+        # Stale fire ahead of the valid target: re-arm unless another
+        # outstanding wake already covers it.
+        for t in times:
+            if t <= target:
+                return
+        times.append(target)
+        Callback(self.sim, self._on_wake_fast, at=target)
+
+    def _wake(self, generation: int, delay: float):
+        yield self.sim.timeout(delay)
+        self._on_wake(generation)

@@ -4,16 +4,32 @@ The scheduler is a binary heap of ``(time, priority, sequence, event)``
 tuples.  The monotone ``sequence`` counter makes same-time same-priority
 ordering FIFO, so the whole simulation is deterministic — a hard
 requirement for reproducing the paper's tables bit-for-bit across runs.
+
+When the fast path is enabled (see :mod:`repro.fastpath`), zero-delay
+events — the bulk of all traffic: store dispatches, resource grants,
+process wakeups — bypass the heap into two FIFO deques (one per
+priority tier).  Entries appended to a deque carry the current clock
+and a monotone sequence number, so each deque is sorted by
+``(time, priority, sequence)`` by construction and a three-way merge
+against the heap preserves the exact reference processing order.
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Generator, Optional
 
+from repro import fastpath
 from repro.errors import DeadlockError, SimulationError
-from repro.sim.events import Event, NORMAL, Timeout
+from repro.sim.events import Event, NORMAL, Timeout, URGENT, _PENDING
 from repro.sim.process import Process
+
+#: Events processed across every simulator in this interpreter; read by
+#: ``python -m repro.bench --profile`` to report events per experiment.
+TOTAL_EVENTS = 0
+
+_INF = float("inf")
 
 
 class Simulator:
@@ -29,10 +45,19 @@ class Simulator:
     def __init__(self, trace: Optional["Trace"] = None) -> None:
         self._now = 0.0
         self._queue: list = []
+        #: Zero-delay events, (time, sequence, event); sorted by
+        #: construction since time and sequence are monotone.
+        self._urgent: deque = deque()
+        self._normal: deque = deque()
         self._sequence = 0
         self._active_process: Optional[Process] = None
         self.trace = trace
         self._crashed: list = []
+        #: Events processed by this simulator.
+        self.events_processed = 0
+        #: Sampled once at construction; all fast-path branches key off
+        #: this so a mid-run flag flip cannot desynchronize a simulation.
+        self._fast = fastpath.enabled()
 
     # -- clock ------------------------------------------------------------
     @property
@@ -51,14 +76,51 @@ class Simulator:
         """Queue ``event`` for processing at ``now + delay``."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past ({delay})")
-        self._sequence += 1
+        self._sequence = sequence = self._sequence + 1
+        if delay == 0.0 and self._fast:
+            if priority == NORMAL:
+                self._normal.append((self._now, sequence, event))
+                return
+            if priority == URGENT:
+                self._urgent.append((self._now, sequence, event))
+                return
         heapq.heappush(
-            self._queue, (self._now + delay, priority, self._sequence, event)
+            self._queue, (self._now + delay, priority, sequence, event)
         )
+
+    def schedule_at(self, event: Event, when: float,
+                    priority: int = NORMAL) -> None:
+        """Queue ``event`` for processing at absolute time ``when``.
+
+        Needed by the frame-train fast path: replaying a planned
+        timestamp through ``schedule(delay=when - now)`` would round
+        differently (``fl(now + fl(when - now)) != when`` in general).
+        """
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule at {when} before now={self._now}"
+            )
+        self._sequence = sequence = self._sequence + 1
+        if when == self._now and self._fast:
+            if priority == NORMAL:
+                self._normal.append((when, sequence, event))
+                return
+            if priority == URGENT:
+                self._urgent.append((when, sequence, event))
+                return
+        heapq.heappush(self._queue, (when, priority, sequence, event))
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """An event that fires ``delay`` microseconds from now."""
         return Timeout(self, delay, value=value)
+
+    def sleep_until(self, when: float) -> Event:
+        """A pre-triggered event that fires at absolute time ``when``."""
+        event = Event(self)
+        event._ok = True
+        event._value = None
+        self.schedule_at(event, when, priority=NORMAL)
+        return event
 
     def event(self, name: str = "") -> Event:
         """A fresh untriggered event."""
@@ -68,13 +130,55 @@ class Simulator:
         """Start a new process running ``generator``."""
         return Process(self, generator, name=name)
 
+    # -- queue selection -----------------------------------------------------
+    def _select(self):
+        """(time, source) of the next event; source 0 means empty.
+
+        Sources: 1 = urgent deque, 2 = normal deque, 3 = heap.
+        """
+        best = None
+        source = 0
+        entries = self._urgent
+        if entries:
+            head = entries[0]
+            best = (head[0], URGENT, head[1])
+            source = 1
+        entries = self._normal
+        if entries:
+            head = entries[0]
+            key = (head[0], NORMAL, head[1])
+            if best is None or key < best:
+                best = key
+                source = 2
+        entries = self._queue
+        if entries:
+            head = entries[0]
+            key = (head[0], head[1], head[2])
+            if best is None or key < best:
+                best = key
+                source = 3
+        if source == 0:
+            return _INF, 0
+        return best[0], source
+
+    def _pop(self, source: int) -> Event:
+        if source == 1:
+            return self._urgent.popleft()[2]
+        if source == 2:
+            return self._normal.popleft()[2]
+        return heapq.heappop(self._queue)[3]
+
     # -- execution ----------------------------------------------------------
     def step(self) -> float:
         """Process one event; returns its timestamp."""
-        if not self._queue:
+        when, source = self._select()
+        if source == 0:
             raise DeadlockError("event queue empty")
-        when, _priority, _seq, event = heapq.heappop(self._queue)
+        event = self._pop(source)
         self._now = when
+        self.events_processed += 1
+        global TOTAL_EVENTS
+        TOTAL_EVENTS += 1
         if self.trace is not None:
             self.trace.record(when, event)
         event._process()
@@ -97,8 +201,74 @@ class Simulator:
             raise SimulationError(
                 f"until={until} is before now={self._now}"
             )
-        while self._queue:
-            when = self._queue[0][0]
+        if (self._fast and self.trace is None and until is None
+                and not self._crashed):
+            # Hot loop: no trace branch, no bound check, and the
+            # three-way merge inlined without key-tuple allocation.
+            processed = 0
+            crashed = self._crashed
+            urgent = self._urgent
+            normal = self._normal
+            queue = self._queue
+            heappop = heapq.heappop
+            try:
+                while True:
+                    if urgent:
+                        head = urgent[0]
+                        when = head[0]
+                        if normal and normal[0][0] < when:
+                            head = normal[0]
+                            when = head[0]
+                            priority = NORMAL
+                            source = 2
+                        else:
+                            priority = URGENT
+                            source = 1
+                    elif normal:
+                        head = normal[0]
+                        when = head[0]
+                        priority = NORMAL
+                        source = 2
+                    else:
+                        source = 0
+                    if queue:
+                        entry = queue[0]
+                        entry_time = entry[0]
+                        if source == 0 or entry_time < when or (
+                            entry_time == when
+                            and (entry[1] < priority
+                                 or (entry[1] == priority
+                                     and entry[2] < head[1]))
+                        ):
+                            when = entry_time
+                            source = 3
+                    if source == 0:
+                        break
+                    if source == 1:
+                        event = urgent.popleft()[2]
+                    elif source == 2:
+                        event = normal.popleft()[2]
+                    else:
+                        event = heappop(queue)[3]
+                    self._now = when
+                    processed += 1
+                    event._process()
+                    if crashed:
+                        process, exc = crashed.pop()
+                        exc.add_note(
+                            f"(unhandled in process {process.name!r} at "
+                            f"t={when:.3f}us)"
+                        )
+                        raise exc
+            finally:
+                self.events_processed += processed
+                global TOTAL_EVENTS
+                TOTAL_EVENTS += processed
+            return self._now
+        while True:
+            when, source = self._select()
+            if source == 0:
+                break
             if until is not None and when > until:
                 self._now = until
                 return self._now
@@ -114,13 +284,84 @@ class Simulator:
         Raises :class:`DeadlockError` if the queue drains first and
         :class:`SimulationError` if ``limit`` is exceeded.
         """
+        if (self._fast and self.trace is None and limit is None
+                and not self._crashed):
+            # Mirror of run()'s hot loop: the per-event deadlock check
+            # folds into the merge, and the stop condition reads the
+            # process's triggered flag directly.
+            processed = 0
+            crashed = self._crashed
+            urgent = self._urgent
+            normal = self._normal
+            queue = self._queue
+            heappop = heapq.heappop
+            try:
+                while process._value is _PENDING:
+                    if urgent:
+                        head = urgent[0]
+                        when = head[0]
+                        if normal and normal[0][0] < when:
+                            head = normal[0]
+                            when = head[0]
+                            priority = NORMAL
+                            source = 2
+                        else:
+                            priority = URGENT
+                            source = 1
+                    elif normal:
+                        head = normal[0]
+                        when = head[0]
+                        priority = NORMAL
+                        source = 2
+                    else:
+                        source = 0
+                    if queue:
+                        entry = queue[0]
+                        entry_time = entry[0]
+                        if source == 0 or entry_time < when or (
+                            entry_time == when
+                            and (entry[1] < priority
+                                 or (entry[1] == priority
+                                     and entry[2] < head[1]))
+                        ):
+                            when = entry_time
+                            source = 3
+                    if source == 0:
+                        raise DeadlockError(
+                            f"simulation deadlocked waiting for "
+                            f"{process.name!r} at t={self._now:.3f}us"
+                        )
+                    if source == 1:
+                        event = urgent.popleft()[2]
+                    elif source == 2:
+                        event = normal.popleft()[2]
+                    else:
+                        event = heappop(queue)[3]
+                    self._now = when
+                    processed += 1
+                    event._process()
+                    if crashed:
+                        proc, exc = crashed.pop()
+                        exc.add_note(
+                            f"(unhandled in process {proc.name!r} at "
+                            f"t={when:.3f}us)"
+                        )
+                        raise exc
+            finally:
+                self.events_processed += processed
+                global TOTAL_EVENTS
+                TOTAL_EVENTS += processed
+            if not process.ok:
+                raise process.value
+            return process.value
         while not process.triggered:
-            if not self._queue:
+            when, source = self._select()
+            if source == 0:
                 raise DeadlockError(
                     f"simulation deadlocked waiting for {process.name!r} "
                     f"at t={self._now:.3f}us"
                 )
-            if limit is not None and self._queue[0][0] > limit:
+            if limit is not None and when > limit:
                 raise SimulationError(
                     f"{process.name!r} did not finish by t={limit}us"
                 )
@@ -132,12 +373,12 @@ class Simulator:
 
     def peek(self) -> float:
         """Timestamp of the next event, or +inf if the queue is empty."""
-        return self._queue[0][0] if self._queue else float("inf")
+        return self._select()[0]
 
     @property
     def queue_length(self) -> int:
         """Number of scheduled-but-unprocessed events."""
-        return len(self._queue)
+        return len(self._queue) + len(self._urgent) + len(self._normal)
 
     # -- crash plumbing -------------------------------------------------------
     def _crash(self, process: Process, exc: BaseException) -> None:

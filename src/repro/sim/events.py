@@ -152,11 +152,46 @@ class Timeout(Event):
                  name: str = "") -> None:
         if delay < 0:
             raise ValueError(f"negative timeout delay {delay!r}")
-        super().__init__(sim, name=name or f"timeout({delay:g})")
+        # Building the label costs more than the rest of the
+        # constructor; only pay for it when a trace will read it.
+        if not name and sim.trace is not None:
+            name = f"timeout({delay:g})"
+        super().__init__(sim, name=name)
         self.delay = delay
         self._ok = True
         self._value = value
         sim.schedule(self, delay=delay, priority=NORMAL)
+
+
+class Callback(Event):
+    """A pre-triggered event that invokes ``fn`` when processed.
+
+    Replaces the spawn-a-process-to-run-one-timeout pattern on hot
+    paths (bus wakeups, link deliveries): one queue entry instead of an
+    init event, a timeout, and a process-completion event.  ``fn`` runs
+    before any waiter callbacks, at the event's scheduled instant.
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self, sim: "Simulator", fn: Callable[[], None],
+                 delay: float = 0.0, at: Optional[float] = None,
+                 priority: int = NORMAL, name: str = "") -> None:
+        super().__init__(sim, name=name)
+        self.fn = fn
+        self._ok = True
+        self._value = None
+        if at is not None:
+            sim.schedule_at(self, at, priority=priority)
+        else:
+            sim.schedule(self, delay=delay, priority=priority)
+
+    def _process(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        self._processed = True
+        self.fn()
+        for callback in callbacks:
+            callback(self)
 
 
 class Condition(Event):

@@ -31,7 +31,10 @@ class _Initialize(Event):
     __slots__ = ()
 
     def __init__(self, sim: "Simulator", process: "Process") -> None:
-        super().__init__(sim, name=f"init:{process.name}")
+        super().__init__(
+            sim,
+            name=f"init:{process.name}" if sim.trace is not None else "",
+        )
         self._ok = True
         self._value = None
         self.callbacks.append(process._resume)

@@ -28,7 +28,11 @@ class Request(Event):
     __slots__ = ("resource",)
 
     def __init__(self, resource: "Resource") -> None:
-        super().__init__(resource.sim, name=f"request:{resource.name}")
+        sim = resource.sim
+        super().__init__(
+            sim,
+            name=f"request:{resource.name}" if sim.trace is not None else "",
+        )
         self.resource = resource
 
 
@@ -40,6 +44,8 @@ class Resource:
     sim: owning simulator.
     capacity: number of concurrent holders (1 == mutex).
     """
+
+    __slots__ = ("sim", "capacity", "name", "_holders", "_waiters", "stats")
 
     def __init__(self, sim: "Simulator", capacity: int = 1,
                  name: str = "resource") -> None:
@@ -77,6 +83,23 @@ class Resource:
         self._holders.discard(request)
         self._dispatch()
 
+    def try_acquire(self) -> "Request | None":
+        """Synchronous grant when the resource is free, else None.
+
+        The seed path grants synchronously too (``request()`` adds the
+        holder immediately); its grant event exists only to wake the
+        requester at the same instant.  A caller that proceeds inline
+        instead observes and produces identical timestamps.
+        """
+        if self._waiters or len(self._holders) >= self.capacity:
+            return None
+        req = Request(self)
+        self._holders.add(req)
+        self.stats["grants"] += 1
+        req._ok = True
+        req._value = req
+        return req
+
     def _grant(self, req: Request) -> None:
         self._holders.add(req)
         self.stats["grants"] += 1
@@ -91,8 +114,10 @@ class Resource:
 
         Usage: ``yield from bus.use(t)``.
         """
-        req = self.request()
-        yield req
+        req = self.try_acquire() if self.sim._fast else None
+        if req is None:
+            req = self.request()
+            yield req
         try:
             yield self.sim.timeout(duration)
         finally:
@@ -121,6 +146,8 @@ class PriorityResource(Resource):
     token updates) preempt queued bulk data.
     """
 
+    __slots__ = ("_order",)
+
     def __init__(self, sim: "Simulator", capacity: int = 1,
                  name: str = "priority-resource") -> None:
         super().__init__(sim, capacity=capacity, name=name)
@@ -136,14 +163,28 @@ class PriorityResource(Resource):
             heapq.heappush(self._waiters, req)
         return req
 
+    def try_acquire(self, priority: int = 0) -> "PriorityRequest | None":  # type: ignore[override]
+        """Synchronous grant when free, else None (see Resource)."""
+        if self._waiters or len(self._holders) >= self.capacity:
+            return None
+        self._order += 1
+        req = PriorityRequest(self, priority, self._order)
+        self._holders.add(req)
+        self.stats["grants"] += 1
+        req._ok = True
+        req._value = req
+        return req
+
     def _dispatch(self) -> None:
         while self._waiters and len(self._holders) < self.capacity:
             self._grant(heapq.heappop(self._waiters))
 
     def use(self, duration: float, priority: int = 0):
         """Hold the resource for ``duration`` at ``priority``."""
-        req = self.request(priority)
-        yield req
+        req = self.try_acquire(priority) if self.sim._fast else None
+        if req is None:
+            req = self.request(priority)
+            yield req
         try:
             yield self.sim.timeout(duration)
         finally:

@@ -23,7 +23,11 @@ class StorePut(Event):
     __slots__ = ("item",)
 
     def __init__(self, store: "Store", item: Any) -> None:
-        super().__init__(store.sim, name=f"put:{store.name}")
+        sim = store.sim
+        super().__init__(
+            sim,
+            name=f"put:{store.name}" if sim.trace is not None else "",
+        )
         self.item = item
 
 
@@ -34,12 +38,19 @@ class StoreGet(Event):
 
     def __init__(self, store: "Store",
                  filter: Optional[Callable[[Any], bool]] = None) -> None:
-        super().__init__(store.sim, name=f"get:{store.name}")
+        sim = store.sim
+        super().__init__(
+            sim,
+            name=f"get:{store.name}" if sim.trace is not None else "",
+        )
         self.filter = filter
 
 
 class Store:
     """FIFO store with finite or infinite capacity."""
+
+    __slots__ = ("sim", "capacity", "name", "items", "_putters", "_getters",
+                 "stats")
 
     def __init__(self, sim: "Simulator", capacity: float = float("inf"),
                  name: str = "store") -> None:
@@ -90,6 +101,23 @@ class Store:
         self._dispatch()
         return item
 
+    def try_put(self, item: Any) -> bool:
+        """Non-blocking put: False when full (or putters are queued,
+        which a sync insert would overtake).
+
+        The synchronous fast path for sole-producer loops: the seed
+        path's put event only exists to wake the producer again at the
+        same instant, so skipping it does not move any timestamp.
+        """
+        if self._putters or len(self.items) >= self.capacity:
+            return False
+        self.items.append(item)
+        self.stats["puts"] += 1
+        if len(self.items) > self.stats["max_level"]:
+            self.stats["max_level"] = len(self.items)
+        self._dispatch()
+        return True
+
     # -- internals ----------------------------------------------------------
     def _do_put(self, event: StorePut) -> bool:
         if len(self.items) < self.capacity:
@@ -109,6 +137,8 @@ class Store:
         return False
 
     def _dispatch(self) -> None:
+        if not self._putters and not self._getters:
+            return
         progress = True
         while progress:
             progress = False
@@ -133,6 +163,8 @@ class FilterStore(Store):
     Getters are served in FIFO order *per matching item*: a getter whose
     filter matches nothing waits without blocking later getters.
     """
+
+    __slots__ = ()
 
     def get(self, filter: Optional[Callable[[Any], bool]] = None) -> StoreGet:  # type: ignore[override]
         get_event = StoreGet(self, filter=filter)

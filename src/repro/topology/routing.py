@@ -16,6 +16,23 @@ from typing import List, Optional, Sequence, Tuple
 from repro.errors import TopologyError
 from repro.topology.torus import Direction, Torus
 
+#: Hit/miss counters for the module-level routing caches below (the
+#: per-pair SDF choice and minimal-direction sets).  Purely
+#: observational — the cached functions are pure, so the caches cannot
+#: change any simulation result.
+CACHE_STATS = {"hits": 0, "misses": 0}
+
+_MINDIR_CACHE: dict = {}
+_SDF_CACHE: dict = {}
+
+
+def clear_caches() -> None:
+    """Drop the routing caches and reset :data:`CACHE_STATS`."""
+    _MINDIR_CACHE.clear()
+    _SDF_CACHE.clear()
+    CACHE_STATS["hits"] = 0
+    CACHE_STATS["misses"] = 0
+
 
 @dataclass(frozen=True)
 class RouteStep:
@@ -41,6 +58,12 @@ def minimal_directions(torus: Torus, src: int, dst: int) -> List[Direction]:
     directions are minimal (the OPT partition exploits this freedom to
     balance its regions).
     """
+    key = (torus, src, dst)
+    cached = _MINDIR_CACHE.get(key)
+    if cached is not None:
+        CACHE_STATS["hits"] += 1
+        return list(cached)
+    CACHE_STATS["misses"] += 1
     out = []
     for axis, delta in enumerate(torus.offset(src, dst)):
         if delta == 0:
@@ -50,6 +73,7 @@ def minimal_directions(torus: Torus, src: int, dst: int) -> List[Direction]:
         extent = torus.dims[axis]
         if torus.wrap and extent > 1 and 2 * abs(delta) == extent:
             out.append(Direction(axis, -sign))
+    _MINDIR_CACHE[key] = tuple(out)
     return out
 
 
@@ -63,6 +87,16 @@ def sdf_next_direction(torus: Torus, src: int, dst: int,
     rest of the package relies on.  Returns ``None`` when ``src == dst``
     or every minimal direction is forbidden.
     """
+    # The common caller (the per-frame packet switch) never forbids
+    # directions, so that case is memoized; ``forbidden`` changes the
+    # answer and bypasses the cache.
+    use_cache = not forbidden
+    if use_cache:
+        key = (torus, src, dst)
+        if key in _SDF_CACHE:
+            CACHE_STATS["hits"] += 1
+            return _SDF_CACHE[key]
+        CACHE_STATS["misses"] += 1
     offset = torus.offset(src, dst)
     best: Optional[Tuple[int, int, int]] = None
     best_direction: Optional[Direction] = None
@@ -73,10 +107,12 @@ def sdf_next_direction(torus: Torus, src: int, dst: int,
         direction = Direction(axis, 1 if delta > 0 else -1)
         if direction in forbidden_set:
             continue
-        key = (abs(delta), axis, 0 if delta > 0 else 1)
-        if best is None or key < best:
-            best = key
+        rank = (abs(delta), axis, 0 if delta > 0 else 1)
+        if best is None or rank < best:
+            best = rank
             best_direction = direction
+    if use_cache:
+        _SDF_CACHE[key] = best_direction
     return best_direction
 
 

@@ -81,6 +81,12 @@ class Torus:
             stride *= d
         self._strides.reverse()
         self.size = stride
+        # Geometry is immutable, so displacement queries are memoized
+        # per instance; the packet switch asks for the same (src, dst)
+        # pairs millions of times during a bandwidth sweep.
+        self._offset_cache: dict = {}
+        self._distance_cache: dict = {}
+        self.cache_stats = {"hits": 0, "misses": 0}
 
     # -- basic properties -----------------------------------------------------
     @property
@@ -202,6 +208,11 @@ class Torus:
         On a wrapped axis the displacement is the shorter way around;
         an exact half-way tie resolves to the positive direction.
         """
+        cached = self._offset_cache.get((src, dst))
+        if cached is not None:
+            self.cache_stats["hits"] += 1
+            return cached
+        self.cache_stats["misses"] += 1
         sc, dc = self.coords(src), self.coords(dst)
         out = []
         for s, d, extent in zip(sc, dc, self.dims):
@@ -213,11 +224,18 @@ class Torus:
                 elif delta == extent / 2:
                     delta = extent // 2  # tie: go positive
             out.append(delta)
-        return tuple(out)
+        result = tuple(out)
+        self._offset_cache[(src, dst)] = result
+        return result
 
     def distance(self, src: int, dst: int) -> int:
         """Minimal hop count between ``src`` and ``dst``."""
-        return sum(abs(delta) for delta in self.offset(src, dst))
+        cached = self._distance_cache.get((src, dst))
+        if cached is not None:
+            return cached
+        result = sum(abs(delta) for delta in self.offset(src, dst))
+        self._distance_cache[(src, dst)] = result
+        return result
 
     def diameter(self) -> int:
         """Maximum distance between any two nodes."""

@@ -70,9 +70,14 @@ class ViaDevice:
         #: work); created by :meth:`enable_kernel_collectives`.
         self.kernel_collective = None
         for port in self.ports.values():
-            port.set_driver(
-                lambda frame, _port=port: self.agent.handle_frame(frame, _port)
+            driver = (
+                lambda frame, paid_until=None, _port=port:
+                self.agent.handle_frame(frame, _port, paid_until)
             )
+            # Advertises the paid_until protocol to the interrupt
+            # dispatcher (fold of the per-frame cost, fast path only).
+            driver.folds_irq_cost = True
+            port.set_driver(driver)
 
     def enable_kernel_collectives(self, root: int = 0):
         """Inject the reduction tree into the kernel (section 7)."""
@@ -154,6 +159,7 @@ class ViaDevice:
         port = self._route_egress(peer_node, route)
         msg_id = ViaPacket.next_msg_id()
         frags = list(self._fragments(descriptor.nbytes))
+        frames = []
         for index, (offset, frag_bytes) in enumerate(frags):
             last = index == len(frags) - 1
             packet = ViaPacket(
@@ -182,7 +188,8 @@ class ViaDevice:
                     if last else None
                 ),
             )
-            yield from port.enqueue_tx(frame)
+            frames.append(frame)
+        yield from port.send_frames(frames)
 
     def transmit_rma(self, vi: VI, descriptor: RmaWriteDescriptor):
         """Process: fragment and enqueue a remote-DMA write."""
@@ -191,6 +198,7 @@ class ViaDevice:
         port = self._route_egress(peer_node, route)
         msg_id = ViaPacket.next_msg_id()
         frags = list(self._fragments(descriptor.nbytes))
+        frames = []
         for index, (offset, frag_bytes) in enumerate(frags):
             last = index == len(frags) - 1
             packet = ViaPacket(
@@ -221,7 +229,8 @@ class ViaDevice:
                     if last else None
                 ),
             )
-            yield from port.enqueue_tx(frame)
+            frames.append(frame)
+        yield from port.send_frames(frames)
 
     def transmit_control(self, dst_node: int, kind: PacketKind,
                          dst_vi: int, src_vi: int, payload=None):

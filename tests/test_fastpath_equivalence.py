@@ -1,0 +1,41 @@
+"""The fast path must be invisible in every reproduced number.
+
+The simulator carries two execution strategies (see
+:mod:`repro.fastpath`): the per-event reference path and the fast path
+(zero-delay queue bypass, callback-fused transfers, and the frame-train
+bulk transmit of :mod:`repro.hw.fastpath`).  These tests pin the
+contract that both produce *bit-identical* experiment tables — ``repr``
+equality of every cell, not approximate agreement — and that the fast
+path is deterministic run-to-run.
+
+Figure 2 exercises the point-to-point latency/bandwidth paths where
+frame trains engage; figure 3 the aggregated-bandwidth runs where the
+engagement guard must refuse and fall back; figure 5 the multi-hop
+collectives mixing both regimes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import fastpath
+from repro.bench.harness import run_experiment
+
+
+def _table(name: str, fast: bool):
+    with fastpath.force(fast):
+        result = run_experiment(name, quick=True)
+    return [[repr(cell) for cell in row] for row in result.rows]
+
+
+@pytest.mark.parametrize("name", ["fig2", "fig3", "fig5"])
+def test_tables_bit_identical(name):
+    reference = _table(name, fast=False)
+    fast = _table(name, fast=True)
+    assert fast == reference
+
+
+def test_fastpath_deterministic():
+    first = _table("fig2", fast=True)
+    second = _table("fig2", fast=True)
+    assert first == second
