@@ -61,7 +61,24 @@ def main(argv=None) -> int:
     parser.add_argument("--profile", action="store_true",
                         help="record wall-clock and event counts into "
                              "BENCH_PERF.json")
+    parser.add_argument("--loss", type=float, default=0.0, metavar="P",
+                        help="inject per-frame loss probability P on "
+                             "every link (reliable delivery engages "
+                             "automatically)")
+    parser.add_argument("--fault-seed", type=int, default=0,
+                        metavar="SEED",
+                        help="seed for the deterministic fault streams "
+                             "(same seed => identical fault schedule)")
     args = parser.parse_args(argv)
+
+    faulty = args.loss > 0.0
+    if faulty:
+        from repro.hw import faults
+
+        faults.clear_registry()
+        faults.set_ambient(faults.FaultParams(
+            seed=args.fault_seed, loss_rate=args.loss,
+        ))
 
     names = list(args.experiments)
     if names == ["all"]:
@@ -82,6 +99,19 @@ def main(argv=None) -> int:
             "events": sim_core.TOTAL_EVENTS - events_before,
             "quick": args.quick,
         }
+    if faulty:
+        from repro.hw import faults
+
+        totals = faults.injected_totals()
+        injected = sum(totals.values())
+        sys.stdout.write(
+            f"[faults: seed={args.fault_seed} loss={args.loss} "
+            f"injected={injected} "
+            + " ".join(f"{k}={v}" for k, v in sorted(totals.items())
+                       if v)
+            + "]\n"
+        )
+        faults.set_ambient(None)
     if args.profile:
         from repro import fastpath
 

@@ -18,12 +18,14 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.errors import ConfigurationError
+from repro.hw import faults as fault_model
+from repro.hw.faults import FaultInjector
 from repro.hw.link import Link
 from repro.hw.nic import GigEPort
 from repro.hw.node import Host
 from repro.hw.params import GigEParams, HostParams, TcpParams, ViaParams
 from repro.sim import Simulator
-from repro.topology.torus import Torus
+from repro.topology.torus import Direction, Torus
 
 
 @dataclass
@@ -73,6 +75,11 @@ class MeshCluster:
 
     def _wire(self) -> None:
         g = self.gige_params
+        fault_params = g.faults or fault_model.ambient()
+        if fault_params is not None and not fault_params.active():
+            fault_params = None
+        #: (rank, port index) -> the Link wired there.
+        self._link_map: Dict[tuple, Link] = {}
         for rank in self.torus.ranks():
             for direction in self.torus.directions():
                 if direction.sign < 0:
@@ -80,16 +87,54 @@ class MeshCluster:
                 if not self.torus.has_neighbor(rank, direction):
                     continue
                 neighbor = self.torus.neighbor(rank, direction)
+                name = f"link[{rank}{direction}{neighbor}]"
+                injector = (
+                    FaultInjector(fault_params, name)
+                    if fault_params is not None else None
+                )
                 link = Link(
                     self.sim, g.wire_rate, g.frame_overhead, g.propagation,
-                    name=f"link[{rank}{direction}{neighbor}]",
+                    name=name,
                     corrupt_every=g.corrupt_every,
+                    faults=injector,
                 )
                 self.nodes[rank].ports[direction.port].attach_link(link, 0)
                 self.nodes[neighbor].ports[
                     direction.opposite.port
                 ].attach_link(link, 1)
+                self._link_map[(rank, direction.port)] = link
+                self._link_map[(neighbor, direction.opposite.port)] = link
                 self.links.append(link)
+        #: The FaultParams the links were wired with (None = lossless).
+        self.fault_params = fault_params
+        #: Links that can die permanently (dead-link reroute checks
+        #: only these, keeping the healthy-fabric path O(1)-ish).
+        self._mortal_links = tuple(
+            link for link in self.links
+            if link.faults is not None
+            and link.faults.params.die_at is not None
+        )
+
+    # -- link health --------------------------------------------------------
+    def link_alive(self, rank: int, direction: Direction,
+                   now: Optional[float] = None) -> bool:
+        """Is the link out of ``rank`` in ``direction`` alive?"""
+        link = self._link_map.get((rank, direction.port))
+        if link is None:
+            return False
+        return not link.is_dead(self.sim.now if now is None else now)
+
+    def fabric_can_degrade(self) -> bool:
+        """Whether any wired link can die permanently."""
+        return bool(self._mortal_links)
+
+    def degraded(self, now: float) -> bool:
+        """Any link permanently dead at ``now``?  (FabricHealth API.)"""
+        return any(link.is_dead(now) for link in self._mortal_links)
+
+    def alive(self, rank: int, direction: Direction, now: float) -> bool:
+        """FabricHealth API used by dead-link rerouting."""
+        return self.link_alive(rank, direction, now)
 
     @property
     def size(self) -> int:
@@ -113,6 +158,31 @@ class MeshCluster:
                 self.sim, node.host, node.rank, self.torus, node.ports,
                 params=params,
             )
+            if self.fabric_can_degrade():
+                node.via.set_fabric_health(self)
+
+    def reliability_stats(self) -> Dict[str, int]:
+        """Aggregate reliable-delivery/fault counters across the mesh.
+
+        Sums the kernel agents' protocol counters and the links'
+        drop/corrupt counters; zero everywhere on a lossless run.
+        """
+        from repro.sim.monitor import RELIABILITY_COUNTERS
+
+        totals = {key: 0 for key in RELIABILITY_COUNTERS}
+        for node in self.nodes:
+            if node.via is None:
+                continue
+            stats = node.via.agent.stats
+            for key in RELIABILITY_COUNTERS:
+                totals[key] += stats.get(key, 0)
+        for link in self.links:
+            totals["frames_dropped"] = totals.get("frames_dropped", 0) + \
+                sum(link.stats["dropped"])
+            totals["frames_corrupted"] = \
+                totals.get("frames_corrupted", 0) + \
+                sum(link.stats["corrupted"])
+        return totals
 
     def attach_tcp(self, tcp_params: Optional[TcpParams] = None) -> None:
         """Install the kernel TCP/IP baseline on every node."""

@@ -159,8 +159,11 @@ def plan_train(port, frames) -> Optional[_Plan]:
         return None
     link = port.link
     params = port.params
-    if (link is None or not params.hw_checksum
-            or link.corrupt_every is not None):
+    if link is None or not params.hw_checksum or link.fault_capable:
+        # Any fault knob (legacy corrupt_every or the generalized
+        # loss/flap/death model) disengages the train: the plan
+        # schedules arrivals unconditionally, which a dropped frame
+        # would falsify.  The caller runs the exact per-frame path.
         return None
     host = port.host
     membus = host.membus

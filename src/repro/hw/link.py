@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, TYPE_CHECKING
 
 from repro.errors import ConfigurationError
+from repro.hw.faults import CORRUPT, DROP, FaultInjector
 from repro.sim import Resource, Simulator
 from repro.sim.events import Callback
 
@@ -76,7 +77,8 @@ class Link:
     def __init__(self, sim: Simulator, wire_rate: float,
                  frame_overhead: int, propagation: float,
                  name: str = "link",
-                 corrupt_every: Optional[int] = None) -> None:
+                 corrupt_every: Optional[int] = None,
+                 faults: Optional[FaultInjector] = None) -> None:
         if wire_rate <= 0:
             raise ConfigurationError(f"wire rate must be > 0, got {wire_rate}")
         if corrupt_every is not None and corrupt_every < 1:
@@ -91,13 +93,15 @@ class Link:
         #: Fault injection: damage every Nth frame per direction
         #: (deterministic, so tests and reruns reproduce exactly).
         self.corrupt_every = corrupt_every
+        #: Generalized fault engine (loss/flap/death; see hw.faults).
+        self.faults = faults
         self._lines = (
             Resource(sim, 1, name=f"{name}:0->1"),
             Resource(sim, 1, name=f"{name}:1->0"),
         )
         self._ports: list = [None, None]
         self.stats = {"frames": [0, 0], "bytes": [0, 0],
-                      "corrupted": [0, 0]}
+                      "corrupted": [0, 0], "dropped": [0, 0]}
 
     def attach(self, side: int, port: "GigEPort") -> None:
         """Connect ``port`` at ``side`` (0 or 1)."""
@@ -116,6 +120,44 @@ class Link:
     def serialization_time(self, frame: Frame) -> float:
         return frame.wire_bytes(self.frame_overhead) / self.wire_rate
 
+    @property
+    def fault_capable(self) -> bool:
+        """Any fault knob present (legacy or generalized)?  The
+        frame-train fast path refuses to engage on such links."""
+        return self.corrupt_every is not None or self.faults is not None
+
+    @property
+    def lossy(self) -> bool:
+        """Frames can be lost end-to-end (drives auto-reliability)."""
+        return self.faults is not None and self.faults.params.lossy()
+
+    def is_dead(self, now: float) -> bool:
+        """Permanently dead at ``now`` (the packet switch reroutes)."""
+        return self.faults is not None and self.faults.dead(now)
+
+    def _judge(self, side: int, frame: Frame) -> bool:
+        """Post-serialization fault verdict; returns whether to
+        deliver.  Shared between :meth:`transmit` and
+        :meth:`complete_tx` so both execution strategies apply the
+        identical fault schedule at the identical instants."""
+        if (self.corrupt_every is not None
+                and self.stats["frames"][side]
+                % self.corrupt_every == 0):
+            frame.corrupted = True
+            self.stats["corrupted"][side] += 1
+        if self.faults is not None:
+            verdict = self.faults.judge(
+                side, self.stats["frames"][side], self.sim._now
+            )
+            if verdict is DROP:
+                self.stats["dropped"][side] += 1
+                return False
+            if verdict is CORRUPT:
+                if not frame.corrupted:
+                    frame.corrupted = True
+                    self.stats["corrupted"][side] += 1
+        return True
+
     def transmit(self, side: int, frame: Frame):
         """Process: serialize ``frame`` out of ``side``; deliver to peer.
 
@@ -132,13 +174,11 @@ class Link:
             yield self.sim.timeout(duration)
             self.stats["frames"][side] += 1
             self.stats["bytes"][side] += frame.payload_bytes
-            if (self.corrupt_every is not None
-                    and self.stats["frames"][side]
-                    % self.corrupt_every == 0):
-                frame.corrupted = True
-                self.stats["corrupted"][side] += 1
+            deliver = self._judge(side, frame)
         finally:
             line.release(req)
+        if not deliver:
+            return
         if self.sim._fast:
             # One queue entry instead of a spawned delivery process;
             # lands at the identical instant.
@@ -167,9 +207,7 @@ class Link:
         self._lines[side].stats["grants"] += 1
         self.stats["frames"][side] += 1
         self.stats["bytes"][side] += frame.payload_bytes
-        if (self.corrupt_every is not None
-                and self.stats["frames"][side] % self.corrupt_every == 0):
-            frame.corrupted = True
-            self.stats["corrupted"][side] += 1
+        if not self._judge(side, frame):
+            return
         Callback(self.sim, lambda: peer.frame_arrived(frame),
                  delay=self.propagation)

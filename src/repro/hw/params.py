@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro import units
+from repro.hw.faults import FaultParams
 
 
 @dataclass(frozen=True)
@@ -95,6 +96,11 @@ class GigEParams:
     #: Fault injection: damage every Nth frame per link direction
     #: (None = healthy wire).  Deterministic for reproducibility.
     corrupt_every: Optional[int] = None
+    #: Generalized fault schedule (loss, flap, death; see
+    #: :mod:`repro.hw.faults`).  None falls back to the ambient default
+    #: established by ``faults.set_ambient`` / the bench CLI's
+    #: ``--loss`` knob; a default-constructed FaultParams is healthy.
+    faults: Optional[FaultParams] = None
     #: Port price, US$ (section 3: "$140 each, $420/node").
     price_per_port: float = 140.0
 
@@ -128,6 +134,28 @@ class ViaParams:
     #: Maximum outstanding descriptors per VI send queue.
     send_queue_depth: int = 256
     recv_queue_depth: int = 256
+    #: Reliable-delivery protocol (go-back-N sequence/ACK recovery in
+    #: the kernel agent).  None = auto: engage exactly when some link
+    #: of the node can *lose* frames (loss/flap/death/corrupt-rate
+    #: knobs in :class:`~repro.hw.faults.FaultParams`); legacy
+    #: ``corrupt_every`` keeps its detect-and-drop-only semantics.
+    reliable: Optional[bool] = None
+    #: Go-back-N send window per VI, in frames.
+    rel_window: int = 64
+    #: Initial retransmission timeout (us).  Must comfortably exceed
+    #: RTT + the receiver's delayed-ACK window.
+    rel_rto: float = 300.0
+    #: Exponential backoff multiplier and RTO ceiling (us).
+    rel_rto_backoff: float = 2.0
+    rel_rto_max: float = 5000.0
+    #: Consecutive timeouts without ACK progress before the VI is
+    #: transitioned to ERROR and pending sends fail (the VIA error
+    #: surface of an unrecoverable link).
+    rel_max_retries: int = 10
+    #: Delayed-ACK coalescing: ACK after ``rel_ack_every`` in-order
+    #: frames, or ``rel_ack_delay`` us after the first unACKed one.
+    rel_ack_every: int = 4
+    rel_ack_delay: float = 25.0
 
 
 @dataclass(frozen=True)

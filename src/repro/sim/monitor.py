@@ -81,6 +81,38 @@ class SampleStats:
         return math.sqrt(self.variance)
 
 
+#: Kernel-agent counters that describe reliable-delivery/fault-recovery
+#: activity (summed mesh-wide by ``MeshCluster.reliability_stats``).
+RELIABILITY_COUNTERS = (
+    "dropped_bad_checksum",
+    "acks_sent",
+    "acks_received",
+    "retransmits",
+    "timeouts",
+    "dup_frames",
+    "ooo_dropped",
+    "rel_failures",
+    "connect_retries",
+    "dup_connects",
+    "dup_accepts",
+)
+
+
+def reliability_summary(totals: Dict[str, int]) -> str:
+    """One-line human summary of aggregated reliability counters.
+
+    Only nonzero counters are shown; returns ``"no fault activity"``
+    when nothing fired (the lossless case).
+    """
+    parts = [
+        f"{key}={totals[key]}"
+        for key in (*RELIABILITY_COUNTERS, "frames_dropped",
+                    "frames_corrupted")
+        if totals.get(key)
+    ]
+    return " ".join(parts) if parts else "no fault activity"
+
+
 class Probe:
     """Named sample accumulator for simulation measurements."""
 

@@ -10,8 +10,9 @@ model and the scatter algorithms share one implementation.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.errors import TopologyError
 from repro.topology.torus import Direction, Torus
@@ -137,6 +138,50 @@ def sdf_path(torus: Torus, src: int, dst: int) -> List[RouteStep]:
         f"SDF route from {src} to {dst} exceeded diameter "
         f"{torus.diameter()}"
     )  # pragma: no cover - defensive
+
+
+def alive_path(torus: Torus, src: int, dst: int,
+               alive: Callable[[int, Direction], bool],
+               ) -> Optional[List[Direction]]:
+    """Shortest path from ``src`` to ``dst`` using only live links.
+
+    ``alive(node, direction)`` says whether the link out of ``node`` in
+    ``direction`` is usable (fault recovery: dead links are excluded, so
+    the result may be non-minimal).  Deterministic breadth-first search:
+    nodes expand in FIFO order and directions in the fixed
+    :meth:`~repro.topology.torus.Torus.directions` order, so every run
+    with the same fault state picks the identical detour.  Returns the
+    hop-by-hop direction list (empty when ``src == dst``) or ``None``
+    when the live subgraph disconnects the pair.
+
+    Not cached: link health is time-dependent.
+    """
+    if src == dst:
+        return []
+    directions = torus.directions()
+    parent: dict = {src: None}
+    frontier = deque((src,))
+    while frontier:
+        node = frontier.popleft()
+        for direction in directions:
+            if not torus.has_neighbor(node, direction):
+                continue
+            if not alive(node, direction):
+                continue
+            nxt = torus.neighbor(node, direction)
+            if nxt in parent:
+                continue
+            parent[nxt] = (node, direction)
+            if nxt == dst:
+                path: List[Direction] = []
+                while parent[nxt] is not None:
+                    prev, step = parent[nxt]
+                    path.append(step)
+                    nxt = prev
+                path.reverse()
+                return path
+            frontier.append(nxt)
+    return None
 
 
 def first_step_directions(torus: Torus, root: int, dst: int) -> List[Direction]:

@@ -49,6 +49,8 @@ class Descriptor:
     #: Explicit source route (egress port per hop, first hop included);
     #: None routes Shortest-Direction-First.
     route: Optional[tuple] = None
+    #: Transport error that failed this descriptor (status ERROR).
+    error: Optional[Exception] = None
     desc_id: int = field(default_factory=lambda: next(_desc_ids))
 
     def __post_init__(self) -> None:

@@ -19,7 +19,7 @@ from repro.hw.nic import GigEPort
 from repro.hw.node import Host
 from repro.hw.params import ViaParams
 from repro.sim import Simulator
-from repro.topology.routing import sdf_next_direction
+from repro.topology.routing import alive_path, sdf_next_direction
 from repro.topology.torus import Torus
 from repro.via.completion import CompletionQueue
 from repro.via.descriptors import RmaWriteDescriptor, SendDescriptor
@@ -69,6 +69,19 @@ class ViaDevice:
         #: Interrupt-level collective engine (paper section 7 future
         #: work); created by :meth:`enable_kernel_collectives`.
         self.kernel_collective = None
+        #: Reliable delivery: explicit knob, else automatic — engage
+        #: exactly when some attached link can *lose* frames (the
+        #: legacy ``corrupt_every`` detect-and-drop knob deliberately
+        #: does not trigger it, preserving its original semantics).
+        self.reliable = (
+            self.params.reliable
+            if self.params.reliable is not None
+            else any(port.link is not None and port.link.lossy
+                     for port in self.ports.values())
+        )
+        #: Cluster-wide link-health view (set by the builder when the
+        #: fault model can kill links); None = fabric always healthy.
+        self._fabric_health = None
         for port in self.ports.values():
             driver = (
                 lambda frame, paid_until=None, _port=port:
@@ -116,11 +129,49 @@ class ViaDevice:
         return self.memory.register(nbytes, tag, rma_write=rma_write)
 
     # -- routing ------------------------------------------------------------
-    def egress_port(self, dst_node: int) -> GigEPort:
-        """Port on the first SDF hop toward ``dst_node``."""
-        direction = sdf_next_direction(self.torus, self.rank, dst_node)
-        if direction is None:
-            raise ViaError(f"node {self.rank}: no route to {dst_node}")
+    def set_fabric_health(self, health) -> None:
+        """Install the cluster's link-health view (``degraded(now)`` /
+        ``alive(rank, direction, now)``) for dead-link rerouting."""
+        self._fabric_health = health
+
+    def fabric_degraded(self) -> bool:
+        """Any permanently dead link in the fabric right now?"""
+        health = self._fabric_health
+        return health is not None and health.degraded(self.sim.now)
+
+    def egress_port(self, dst_node: int,
+                    packet: Optional[ViaPacket] = None) -> GigEPort:
+        """Port on the first SDF hop toward ``dst_node``.
+
+        While the fabric is degraded (a link died permanently), routing
+        switches to a deterministic breadth-first search over the live
+        links; the possibly non-minimal detour is stamped onto
+        ``packet.route`` as an explicit source route so downstream
+        switches follow it instead of re-deriving (possibly looping)
+        per-hop choices.  The route field is excluded from the packet
+        checksum precisely so it can be rewritten after sealing.
+        """
+        health = self._fabric_health
+        if health is not None and health.degraded(self.sim.now):
+            now = self.sim.now
+            path = alive_path(
+                self.torus, self.rank, dst_node,
+                lambda rank, d: health.alive(rank, d, now),
+            )
+            if not path:
+                raise ViaError(
+                    f"node {self.rank}: no live route to {dst_node}"
+                )
+            direction = path[0]
+            if packet is not None:
+                packet.route = (
+                    tuple(d.port for d in path[1:]) if len(path) > 1
+                    else None
+                )
+        else:
+            direction = sdf_next_direction(self.torus, self.rank, dst_node)
+            if direction is None:
+                raise ViaError(f"node {self.rank}: no route to {dst_node}")
         port = self.ports.get(direction.port)
         if port is None:
             raise ConfigurationError(
@@ -152,17 +203,21 @@ class ViaDevice:
             return port
         return self.egress_port(dst_node)
 
+    def _use_reliable(self, vi: VI) -> bool:
+        from repro.via.vi import Reliability
+
+        return self.reliable and vi.reliability is not Reliability.UNRELIABLE
+
     def transmit_send(self, vi: VI, descriptor: SendDescriptor):
         """Process: fragment and enqueue a two-sided send."""
         peer_node, peer_vi = vi.peer
         route = tuple(descriptor.route) if descriptor.route else None
-        port = self._route_egress(peer_node, route)
         msg_id = ViaPacket.next_msg_id()
         frags = list(self._fragments(descriptor.nbytes))
-        frames = []
+        packets = []
         for index, (offset, frag_bytes) in enumerate(frags):
             last = index == len(frags) - 1
-            packet = ViaPacket(
+            packets.append(ViaPacket(
                 kind=PacketKind.DATA,
                 src_node=self.rank,
                 dst_node=peer_node,
@@ -177,9 +232,19 @@ class ViaDevice:
                 immediate=descriptor.immediate if last else None,
                 route=route[1:] if route else None,
                 payload=descriptor.payload if last else None,
-            ).seal()
-            frame = Frame(
-                payload_bytes=frag_bytes,
+            ))
+        if self._use_reliable(vi):
+            yield from self.agent.reliable_transmit(
+                vi, packets, "via-data", route, descriptor,
+            )
+            return
+        port = self._route_egress(peer_node, route)
+        frames = []
+        for index, packet in enumerate(packets):
+            last = index == len(packets) - 1
+            packet.seal()
+            frames.append(Frame(
+                payload_bytes=packet.payload_bytes,
                 header_bytes=self.params.header_bytes,
                 payload=packet,
                 kind="via-data",
@@ -187,21 +252,19 @@ class ViaDevice:
                     (lambda v=vi, d=descriptor: v.complete_send(d))
                     if last else None
                 ),
-            )
-            frames.append(frame)
+            ))
         yield from port.send_frames(frames)
 
     def transmit_rma(self, vi: VI, descriptor: RmaWriteDescriptor):
         """Process: fragment and enqueue a remote-DMA write."""
         peer_node, peer_vi = vi.peer
         route = tuple(descriptor.route) if descriptor.route else None
-        port = self._route_egress(peer_node, route)
         msg_id = ViaPacket.next_msg_id()
         frags = list(self._fragments(descriptor.nbytes))
-        frames = []
+        packets = []
         for index, (offset, frag_bytes) in enumerate(frags):
             last = index == len(frags) - 1
-            packet = ViaPacket(
+            packets.append(ViaPacket(
                 kind=PacketKind.RMA_WRITE,
                 src_node=self.rank,
                 dst_node=peer_node,
@@ -218,9 +281,19 @@ class ViaDevice:
                 immediate=descriptor.immediate if last else None,
                 route=route[1:] if route else None,
                 payload=descriptor.payload if last else None,
-            ).seal()
-            frame = Frame(
-                payload_bytes=frag_bytes,
+            ))
+        if self._use_reliable(vi):
+            yield from self.agent.reliable_transmit(
+                vi, packets, "via-rma", route, descriptor,
+            )
+            return
+        port = self._route_egress(peer_node, route)
+        frames = []
+        for index, packet in enumerate(packets):
+            last = index == len(packets) - 1
+            packet.seal()
+            frames.append(Frame(
+                payload_bytes=packet.payload_bytes,
                 header_bytes=self.params.header_bytes,
                 payload=packet,
                 kind="via-rma",
@@ -228,14 +301,12 @@ class ViaDevice:
                     (lambda v=vi, d=descriptor: v.complete_send(d))
                     if last else None
                 ),
-            )
-            frames.append(frame)
+            ))
         yield from port.send_frames(frames)
 
     def transmit_control(self, dst_node: int, kind: PacketKind,
                          dst_vi: int, src_vi: int, payload=None):
         """Process: one-frame control packet (connect/accept/teardown)."""
-        port = self.egress_port(dst_node)
         packet = ViaPacket(
             kind=kind,
             src_node=self.rank,
@@ -246,6 +317,7 @@ class ViaDevice:
             payload_bytes=0,
             payload=payload,
         ).seal()
+        port = self.egress_port(dst_node, packet=packet)
         frame = Frame(0, self.params.header_bytes, payload=packet,
                       kind=f"via-{kind.value}")
         yield from port.enqueue_tx(frame)

@@ -21,6 +21,7 @@ from repro.hw.nic import GigEPort
 from repro.sim import Store
 from repro.via.descriptors import RecvDescriptor
 from repro.via.packet import PacketKind, ViaPacket
+from repro.via.reliability import ReliableChannel
 from repro.via.vi import VI, ViState
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -45,10 +46,22 @@ class KernelAgent:
         #: Frames awaiting an egress ring slot (switch backlog).
         self._switch_backlog = Store(device.sim,
                                      name=f"switchbl[{device.rank}]")
+        #: vi_id -> reliable-delivery channel (created on demand).
+        self._channels: Dict[int, ReliableChannel] = {}
+        #: (src_node, src_vi, discriminator) -> local VI, for every
+        #: completed passive-side handshake; lets a retransmitted
+        #: CONNECT be answered with a duplicate ACCEPT instead of a
+        #: second accept.
+        self._accepted: Dict[Tuple, VI] = {}
         self.stats = {
             "frames": 0, "forwarded": 0, "checksum_errors": 0,
             "connects": 0, "rma_frames": 0, "data_frames": 0,
             "backlogged": 0,
+            # Reliable-delivery counters (see via.reliability).
+            "dropped_bad_checksum": 0, "acks_sent": 0,
+            "acks_received": 0, "retransmits": 0, "timeouts": 0,
+            "dup_frames": 0, "ooo_dropped": 0, "rel_failures": 0,
+            "connect_retries": 0, "dup_accepts": 0, "dup_connects": 0,
         }
         device.sim.spawn(self._backlog_drain(),
                          name=f"switch-drain[{device.rank}]")
@@ -67,10 +80,47 @@ class KernelAgent:
             dst_node, PacketKind.CONNECT, dst_vi=0, src_vi=vi.vi_id,
             payload=discriminator,
         )
+        if self.device.reliable:
+            # Handshake frames are not covered by the per-VI windows
+            # (no connection yet), so the active side re-sends CONNECT
+            # on its own timer until the ACCEPT lands.
+            self.sim.spawn(
+                self._connect_retry(vi, dst_node, discriminator),
+                name=f"connect-rto[{self.device.rank}:{vi.vi_id}]",
+            )
         peer = yield wake
+        if peer is None:
+            vi.state = ViState.ERROR
+            raise vi.error or ViaError(f"{vi!r}: connect failed")
         vi.peer = peer
         vi.state = ViState.CONNECTED
         return vi
+
+    def _connect_retry(self, vi: VI, dst_node: int, discriminator):
+        """Process: retransmission timer for an in-flight CONNECT."""
+        params = self.device.params
+        rto = params.rel_rto
+        retries = 0
+        while vi.vi_id in self._connectors:
+            yield self.sim.timeout(rto)
+            if vi.vi_id not in self._connectors:
+                return
+            retries += 1
+            if retries > params.rel_max_retries:
+                wake = self._connectors.pop(vi.vi_id)
+                vi.error = ViaError(
+                    f"{vi!r}: connect to node {dst_node} failed after "
+                    f"{params.rel_max_retries} retries"
+                )
+                self.stats["rel_failures"] += 1
+                wake.succeed(None)
+                return
+            self.stats["connect_retries"] += 1
+            rto = min(rto * params.rel_rto_backoff, params.rel_rto_max)
+            yield from self.device.transmit_control(
+                dst_node, PacketKind.CONNECT, dst_vi=0, src_vi=vi.vi_id,
+                payload=discriminator,
+            )
 
     def connect_wait(self, vi: VI, discriminator):
         """Process: passive side (VipConnectWait + VipConnectAccept)."""
@@ -93,10 +143,62 @@ class KernelAgent:
     def _accept(self, vi: VI, packet: ViaPacket):
         vi.peer = (packet.src_node, packet.src_vi)
         vi.state = ViState.CONNECTED
+        try:
+            self._accepted[
+                (packet.src_node, packet.src_vi, packet.payload)
+            ] = vi
+        except TypeError:  # unhashable discriminator: no dedup
+            pass
         yield from self.device.transmit_control(
             packet.src_node, PacketKind.ACCEPT,
             dst_vi=packet.src_vi, src_vi=vi.vi_id,
         )
+
+    # ------------------------------------------------------------------
+    # Reliable delivery (see via.reliability for the protocol).
+    # ------------------------------------------------------------------
+    def channel_for(self, vi: VI) -> ReliableChannel:
+        """The VI's reliable-delivery channel, created on first use."""
+        channel = self._channels.get(vi.vi_id)
+        if channel is None:
+            channel = ReliableChannel(self, vi)
+            self._channels[vi.vi_id] = channel
+        return channel
+
+    def reliable_transmit(self, vi: VI, packets, frame_kind: str,
+                          route, descriptor):
+        """Process: send ``packets`` (one message's fragments) through
+        the VI's reliable channel.
+
+        Each fragment waits for send-window room, gets the next
+        sequence number, and is tracked for retransmission.  The
+        descriptor completes when the *last* fragment is cumulatively
+        ACKed (not at DMA fetch: under loss the buffer may be re-read
+        for retransmission until then).
+        """
+        channel = self.channel_for(vi)
+        last = len(packets) - 1
+        for index, packet in enumerate(packets):
+            yield from channel.admit()
+            yield from channel.transmit(
+                packet, frame_kind, route,
+                descriptor if index == last else None,
+            )
+
+    def _apply_ack(self, packet: ViaPacket) -> None:
+        vi = self.device.vis.get(packet.dst_vi)
+        if vi is not None:
+            self.channel_for(vi).process_ack(packet.ack)
+
+    def _reliable_rx(self, packet: ViaPacket) -> bool:
+        """Sequence-gate an arriving sequenced fragment."""
+        vi = self.device.vis.get(packet.dst_vi)
+        if vi is None:
+            raise ViaError(
+                f"node {self.device.rank}: sequenced frame for unknown "
+                f"VI {packet.dst_vi}"
+            )
+        return self.channel_for(vi).rx_gate(packet)
 
     # ------------------------------------------------------------------
     # Receive dispatch — runs at interrupt level, CPU already held.
@@ -121,11 +223,28 @@ class KernelAgent:
                 # checksummed, so wire damage is detected and the frame
                 # dropped rather than delivered as good data.
                 self.stats["checksum_errors"] += 1
+                self.stats["dropped_bad_checksum"] += 1
                 if paid_until is not None:
                     yield self.sim.sleep_until(paid_until)
                 return
             if packet.dst_node != self.device.rank:
                 yield from self._forward(frame, packet, paid_until)
+                return
+            if packet.kind is PacketKind.ACK:
+                # Explicit cumulative ACK: pure sender-side bookkeeping.
+                self.stats["acks_received"] += 1
+                self._apply_ack(packet)
+                if paid_until is not None:
+                    yield self.sim.sleep_until(paid_until)
+                return
+            if packet.ack >= 0:
+                # Piggybacked cumulative ACK on reverse-direction data.
+                self._apply_ack(packet)
+            if packet.seq >= 0 and not self._reliable_rx(packet):
+                # Duplicate or out-of-order fragment: dropped (and
+                # re-ACKed) before any demux/copy cost is paid.
+                if paid_until is not None:
+                    yield self.sim.sleep_until(paid_until)
                 return
             if packet.kind is PacketKind.DATA:
                 yield from self._handle_data(packet, paid_until)
@@ -289,9 +408,31 @@ class KernelAgent:
         self.stats["connects"] += 1
         yield self.sim.timeout(self.CONNECT_HANDLING_COST)
         discriminator = packet.payload
+        try:
+            accepted = self._accepted.get(
+                (packet.src_node, packet.src_vi, discriminator)
+            )
+        except TypeError:
+            accepted = None
+        if accepted is not None:
+            # Retransmitted CONNECT for a handshake we already
+            # completed (our ACCEPT was lost): answer with a duplicate
+            # ACCEPT, do not consume a listener.
+            self.stats["dup_connects"] += 1
+            yield from self.device.transmit_control(
+                packet.src_node, PacketKind.ACCEPT,
+                dst_vi=packet.src_vi, src_vi=accepted.vi_id,
+            )
+            return
         listener = self._listeners.pop(discriminator, None)
         if listener is None:
-            self._early_connects.setdefault(discriminator, []).append(packet)
+            early = self._early_connects.setdefault(discriminator, [])
+            if any(p.src_node == packet.src_node
+                   and p.src_vi == packet.src_vi for p in early):
+                # Retransmitted CONNECT already queued.
+                self.stats["dup_connects"] += 1
+                return
+            early.append(packet)
             return
         _vi, wake = listener
         wake.succeed(packet)
@@ -300,6 +441,13 @@ class KernelAgent:
         yield self.sim.timeout(self.CONNECT_HANDLING_COST)
         wake = self._connectors.pop(packet.dst_vi, None)
         if wake is None:
+            vi = self.device.vis.get(packet.dst_vi)
+            if (vi is not None and vi.state is ViState.CONNECTED
+                    and vi.peer == (packet.src_node, packet.src_vi)):
+                # Duplicate ACCEPT (the peer answered a retransmitted
+                # CONNECT): the handshake already completed, ignore.
+                self.stats["dup_accepts"] += 1
+                return
             raise ViaError(
                 f"node {self.device.rank}: ACCEPT for VI {packet.dst_vi} "
                 "with no pending connect"
@@ -350,7 +498,7 @@ class KernelAgent:
                     f"port {port_index}"
                 )
         else:
-            egress = device.egress_port(packet.dst_node)
+            egress = device.egress_port(packet.dst_node, packet=packet)
         out = Frame(
             payload_bytes=frame.payload_bytes,
             header_bytes=frame.header_bytes,

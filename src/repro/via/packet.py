@@ -14,7 +14,7 @@ from __future__ import annotations
 import enum
 import itertools
 import zlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Optional
 
 _msg_ids = itertools.count()
@@ -30,6 +30,7 @@ class PacketKind(enum.Enum):
     DISCONNECT = "disconnect"  # teardown
     REDUCE = "reduce"          # interrupt-level partial reduction (s7)
     CBCAST = "cbcast"          # interrupt-level result broadcast (s7)
+    ACK = "ack"                # reliable-delivery cumulative ACK
 
 
 @dataclass
@@ -67,6 +68,13 @@ class ViaPacket:
     #: None the switch falls back to Shortest-Direction-First).  Being
     #: hop-mutable, the route is excluded from the end-to-end checksum.
     route: Optional[tuple] = None
+    #: Reliable-delivery sequence number of this frame on its VI
+    #: channel (-1 = unsequenced, the unreliable/legacy wire format).
+    seq: int = -1
+    #: Piggybacked cumulative ACK: highest in-order sequence number the
+    #: sender of *this* packet has received on the destination VI's
+    #: channel (-1 = no ACK information).
+    ack: int = -1
     payload: Any = field(default=None, repr=False)
     checksum: Optional[int] = None
 
@@ -86,9 +94,18 @@ class ViaPacket:
             f"{self.dst_vi}|{self.src_vi}|{self.msg_id}|{self.frag_index}|"
             f"{self.num_frags}|{self.payload_bytes}|{self.msg_offset}|"
             f"{self.msg_bytes}|{self.remote_addr}|{self.notify}|"
-            f"{self.immediate}"
+            f"{self.immediate}|{self.seq}|{self.ack}"
         ).encode()
         return zlib.crc32(header)
+
+    def clone(self) -> "ViaPacket":
+        """Fresh shallow copy for (re)transmission.
+
+        The kernel switch consumes ``route`` hop by hop on the wire
+        copy, so the reliable sender keeps a pristine template and
+        transmits a clone per attempt.
+        """
+        return replace(self)
 
     def seal(self) -> "ViaPacket":
         """Stamp the checksum (sender side)."""

@@ -72,6 +72,9 @@ class VI:
         self.tag = tag
         self.reliability = reliability
         self.state = ViState.IDLE
+        #: The ViaError that moved the VI to ERROR (reliable-delivery
+        #: retry budget exhausted, failed handshake), if any.
+        self.error: Optional[Exception] = None
         #: (peer node rank, peer vi id) once connected.
         self.peer: Optional[Tuple[int, int]] = None
         self.send_cq = send_cq
@@ -184,6 +187,21 @@ class VI:
     # -- device-side completion delivery -------------------------------------
     def complete_send(self, descriptor: Descriptor) -> None:
         descriptor.mark_done(self.device.sim.now)
+        if descriptor.on_complete is not None:
+            descriptor.on_complete(descriptor)
+        elif self.send_cq is not None:
+            self.send_cq.push(self, SEND_QUEUE, descriptor)
+        else:
+            self._send_done.items.append(descriptor)
+            self._send_done._dispatch()
+
+    def fail_send(self, descriptor: Descriptor) -> None:
+        """Deliver a failed send completion (reliable-delivery retry
+        budget exhausted).  The descriptor is marked errored and still
+        pushed to the normal completion surface, mirroring how VIA
+        reports transport errors through the completion path."""
+        descriptor.error = self.error
+        descriptor.mark_error(self.device.sim.now)
         if descriptor.on_complete is not None:
             descriptor.on_complete(descriptor)
         elif self.send_cq is not None:

@@ -39,3 +39,67 @@ def test_fastpath_deterministic():
     first = _table("fig2", fast=True)
     second = _table("fig2", fast=True)
     assert first == second
+
+
+def _stream(gige_params, nbytes=200_000):
+    """One-way bulk stream over a 2-node pair; returns the cluster."""
+    from repro.hw.params import GigEParams
+    from repro.via.descriptors import RecvDescriptor, SendDescriptor
+    from tests.conftest import make_via_pair
+
+    cluster, (vi0, r0), (vi1, r1) = make_via_pair(
+        gige_params=gige_params
+    )
+    sim = cluster.sim
+
+    def receiver():
+        for _ in range(8):
+            vi1.post_recv(RecvDescriptor(r1, 0, nbytes))
+        for _ in range(8):
+            yield from vi1.recv_wait()
+
+    def sender():
+        for _ in range(8):
+            yield from vi0.post_send(SendDescriptor(r0, 0, nbytes))
+            yield from vi0.send_wait()
+
+    sim.spawn(receiver())
+    process = sim.spawn(sender())
+    sim.run_until_complete(process)
+    sim.run()
+    return cluster
+
+
+def _total_trains(cluster):
+    return sum(
+        port.stats["trains"]
+        for node in cluster.nodes for port in node.ports.values()
+    )
+
+
+@pytest.mark.parametrize("fault_kwargs", [
+    {"loss_rate": 0.01},
+    {"flap_period": 500.0, "flap_down": 50.0},
+    {"corrupt_rate": 0.02},
+], ids=["loss", "flap", "corrupt"])
+def test_trains_disengage_on_fault_capable_links(fault_kwargs):
+    """Any fault knob makes links fault-capable; the frame-train plan
+    schedules arrivals unconditionally, so it must refuse them."""
+    from repro.hw.faults import FaultParams
+    from repro.hw.params import GigEParams
+
+    with fastpath.force(True):
+        cluster = _stream(GigEParams(
+            faults=FaultParams(seed=3, **fault_kwargs)
+        ))
+    assert _total_trains(cluster) == 0
+
+
+def test_trains_engage_on_healthy_links():
+    """Control: the same workload on a clean wire does use trains, so
+    the disengagement test above is not vacuously passing."""
+    from repro.hw.params import GigEParams
+
+    with fastpath.force(True):
+        cluster = _stream(GigEParams())
+    assert _total_trains(cluster) > 0

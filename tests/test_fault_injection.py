@@ -53,6 +53,10 @@ def test_corruption_detected_and_counted():
     # Frames were damaged (handshake + data share the counter) and
     # every damaged frame was caught by the checksum, not delivered.
     assert agent.stats["checksum_errors"] > 0
+    # Each checksum failure dropped the frame, and the drop counter
+    # says so explicitly (reliable-delivery layers key off it).
+    assert (agent.stats["dropped_bad_checksum"]
+            == agent.stats["checksum_errors"])
     total_corrupted = sum(
         sum(link.stats["corrupted"]) for link in cluster.links
     )
@@ -91,6 +95,7 @@ def test_without_checksums_corruption_is_silent():
     # ones carried by damaged frames — the hazard the checksum change
     # eliminated.
     assert agent.stats["checksum_errors"] == 0
+    assert agent.stats["dropped_bad_checksum"] == 0
     assert done  # the receiver completed with corrupted data accepted
 
 
