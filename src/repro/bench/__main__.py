@@ -51,9 +51,13 @@ def main(argv=None) -> int:
         description="Regenerate the paper's figures and tables.",
     )
     parser.add_argument(
-        "experiments", nargs="+",
+        "experiments", nargs="*",
         help=f"experiment ids ({', '.join(EXPERIMENTS)}) or 'all'",
     )
+    parser.add_argument("--chaos", type=int, default=0, metavar="N",
+                        help="run N seeded chaos campaigns (node "
+                             "crashes under live MPI traffic; seeded "
+                             "by --fault-seed)")
     parser.add_argument("--quick", action="store_true",
                         help="reduced sweeps (CI-sized)")
     parser.add_argument("--csv", action="store_true",
@@ -70,6 +74,19 @@ def main(argv=None) -> int:
                         help="seed for the deterministic fault streams "
                              "(same seed => identical fault schedule)")
     args = parser.parse_args(argv)
+    if not args.experiments and not args.chaos:
+        parser.error("name at least one experiment (or use --chaos N)")
+
+    if args.chaos:
+        from repro.bench.chaos import run_chaos
+        from repro.hw import faults as fault_registry
+
+        fault_registry.clear_registry()
+        result = run_chaos(args.chaos, fault_seed=args.fault_seed)
+        sys.stdout.write(result.csv() if args.csv else result.render())
+        fault_registry.clear_registry()
+        if not args.experiments:
+            return 0
 
     faulty = args.loss > 0.0
     if faulty:

@@ -15,11 +15,11 @@ M-VIA), :meth:`MeshCluster.attach_tcp` installs the TCP baseline.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.errors import ConfigurationError
 from repro.hw import faults as fault_model
-from repro.hw.faults import FaultInjector
+from repro.hw.faults import FaultInjector, NodeFaultSpec, merge_node_faults
 from repro.hw.link import Link
 from repro.hw.nic import GigEPort
 from repro.hw.node import Host
@@ -46,11 +46,25 @@ class MeshCluster:
     def __init__(self, torus: Torus,
                  sim: Optional[Simulator] = None,
                  host_params: Optional[HostParams] = None,
-                 gige_params: Optional[GigEParams] = None) -> None:
+                 gige_params: Optional[GigEParams] = None,
+                 node_faults: Optional[Sequence[NodeFaultSpec]] = None,
+                 ) -> None:
         self.sim = sim or Simulator()
         self.torus = torus
         self.host_params = host_params or HostParams()
         self.gige_params = gige_params or GigEParams()
+        self.node_faults = tuple(node_faults or ())
+        for spec in self.node_faults:
+            if not 0 <= spec.rank < torus.size:
+                raise ConfigurationError(
+                    f"NodeFaultSpec rank {spec.rank} outside "
+                    f"0..{torus.size - 1}"
+                )
+        #: Mesh-wide alive-set (the failure detector's published view).
+        self._alive = [True] * torus.size
+        #: (rank, time, declared-by, reason) death records, in order.
+        self.death_log: List[tuple] = []
+        self.watchdog = None
         directions = torus.directions()
         if not directions:
             raise ConfigurationError(f"{torus!r} has no links to wire")
@@ -88,9 +102,17 @@ class MeshCluster:
                     continue
                 neighbor = self.torus.neighbor(rank, direction)
                 name = f"link[{rank}{direction}{neighbor}]"
+                # Node faults compose onto the link schedule: a crash
+                # at either endpoint kills the link, a NIC outage
+                # window downs it transiently.
+                link_params = merge_node_faults(fault_params, tuple(
+                    spec for spec in self.node_faults
+                    if spec.rank in (rank, neighbor)
+                ))
                 injector = (
-                    FaultInjector(fault_params, name)
-                    if fault_params is not None else None
+                    FaultInjector(link_params, name)
+                    if link_params is not None and link_params.active()
+                    else None
                 )
                 link = Link(
                     self.sim, g.wire_rate, g.frame_overhead, g.propagation,
@@ -114,6 +136,15 @@ class MeshCluster:
             if link.faults is not None
             and link.faults.params.die_at is not None
         )
+        # Fail-stop crashes: tear the victim's own endpoints down at
+        # the crash instant (its links die via the merged schedules).
+        from repro.sim.events import Callback
+
+        for spec in self.node_faults:
+            if spec.crash_at is not None:
+                Callback(self.sim,
+                         lambda rank=spec.rank: self._node_crashed(rank),
+                         delay=spec.crash_at)
 
     # -- link health --------------------------------------------------------
     def link_alive(self, rank: int, direction: Direction,
@@ -143,6 +174,84 @@ class MeshCluster:
     def node(self, rank: int) -> MeshNode:
         return self.nodes[rank]
 
+    # -- node health (the failure detector's published view) ----------------
+    @property
+    def has_node_faults(self) -> bool:
+        return bool(self.node_faults)
+
+    def node_alive(self, rank: int) -> bool:
+        """Mesh-wide alive-set entry for ``rank``."""
+        return self._alive[rank]
+
+    def alive_ranks(self) -> List[int]:
+        """Sorted world ranks currently believed alive."""
+        return [rank for rank in range(self.size) if self._alive[rank]]
+
+    def declare_dead(self, rank: int, by: Optional[int] = None,
+                     reason: str = "") -> bool:
+        """Mark ``rank`` dead in the alive-set (idempotent).
+
+        Called by the failure detectors (keepalive silence, retry
+        exhaustion) and by the crash scheduler itself.  Returns True
+        on the first declaration.
+        """
+        if not self._alive[rank]:
+            return False
+        self._alive[rank] = False
+        self.death_log.append((rank, self.sim.now, by, reason))
+        return True
+
+    def _node_crashed(self, rank: int) -> None:
+        """Fail-stop crash: victim-side teardown at the crash instant.
+
+        The victim's links die through the merged link schedules; this
+        hook errors the victim's own VIs and pending requests so its
+        program observes the failure too.
+        """
+        if not self._alive[rank]:
+            return
+        self.declare_dead(rank, by=rank, reason="crashed")
+        node = self.nodes[rank]
+        if node.via is not None:
+            node.via.agent.on_local_crash()
+
+    def hang_report(self) -> str:
+        """Diagnostic naming stuck VIs/requests/ranks (watchdog food)."""
+        lines = [
+            f"alive-set: {self.alive_ranks()} of {self.size}",
+        ]
+        for rank, when, by, reason in self.death_log:
+            lines.append(
+                f"  death: rank {rank} at t={when:.1f}us "
+                f"(declared by {by}: {reason})"
+            )
+        for node in self.nodes:
+            if node.via is None:
+                continue
+            agent = node.via.agent
+            for vi in node.via.vis.values():
+                channel = agent._channels.get(vi.vi_id)
+                unacked = len(channel.unacked) if channel else 0
+                if (vi.recv_queue or vi._reassembly is not None
+                        or unacked):
+                    lines.append(
+                        f"  rank {node.rank} {vi!r}: "
+                        f"{len(vi.recv_queue)} posted recvs, "
+                        f"{unacked} unACKed sends"
+                        + (", mid-reassembly"
+                           if vi._reassembly is not None else "")
+                    )
+            engine = getattr(node.via, "engine", None)
+            if engine is not None and engine.pending_requests():
+                pending = engine.pending_requests()
+                preview = ", ".join(repr(r) for r in pending[:4])
+                lines.append(
+                    f"  rank {node.rank}: {len(pending)} pending "
+                    f"requests ({preview}"
+                    + (", ..." if len(pending) > 4 else "") + ")"
+                )
+        return "\n".join(lines)
+
     # -- protocol stacks ---------------------------------------------------
     def attach_via(self, via_params: Optional[ViaParams] = None) -> None:
         """Install the modified M-VIA on every node."""
@@ -160,6 +269,13 @@ class MeshCluster:
             )
             if self.fabric_can_degrade():
                 node.via.set_fabric_health(self)
+            if self.node_faults:
+                node.via.agent.start_failure_detector(self)
+        if self.node_faults and self.watchdog is None:
+            from repro.sim.monitor import Watchdog
+
+            self.watchdog = Watchdog(self)
+            self.sim.hang_diagnostics = self.hang_report
 
     def reliability_stats(self) -> Dict[str, int]:
         """Aggregate reliable-delivery/fault counters across the mesh.
@@ -182,6 +298,11 @@ class MeshCluster:
             totals["frames_corrupted"] = \
                 totals.get("frames_corrupted", 0) + \
                 sum(link.stats["corrupted"])
+        if self.watchdog is not None:
+            totals["hangs_detected"] = self.watchdog.counters[
+                "hangs_detected"]
+            totals["retry_storms"] = self.watchdog.counters[
+                "retry_storms"]
         return totals
 
     def attach_tcp(self, tcp_params: Optional[TcpParams] = None) -> None:
@@ -208,13 +329,19 @@ def build_mesh(dims, wrap: bool = True, stack: str = "via",
                host_params: Optional[HostParams] = None,
                gige_params: Optional[GigEParams] = None,
                via_params: Optional[ViaParams] = None,
-               tcp_params: Optional[TcpParams] = None) -> MeshCluster:
+               tcp_params: Optional[TcpParams] = None,
+               node_faults: Optional[Sequence[NodeFaultSpec]] = None,
+               ) -> MeshCluster:
     """One-call cluster factory.
 
-    ``stack`` is ``"via"``, ``"tcp"`` or ``"none"``.
+    ``stack`` is ``"via"``, ``"tcp"`` or ``"none"``.  ``node_faults``
+    (a sequence of :class:`~repro.hw.faults.NodeFaultSpec`) arms the
+    node-failure machinery: per-node crash/NIC-outage schedules, the
+    keepalive failure detector, and the hang watchdog.
     """
     cluster = MeshCluster(Torus(dims, wrap=wrap), sim=sim,
-                          host_params=host_params, gige_params=gige_params)
+                          host_params=host_params, gige_params=gige_params,
+                          node_faults=node_faults)
     if stack == "via":
         cluster.attach_via(via_params)
     elif stack == "tcp":

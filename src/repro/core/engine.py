@@ -39,7 +39,13 @@ from repro.core.message import (
     RecvRequest,
     SendRequest,
 )
-from repro.errors import MessagingError
+from repro.errors import (
+    MessagingError,
+    MpiError,
+    MpiProcFailed,
+    MpiRevoked,
+    ViaError,
+)
 from repro.hw.node import PRIO_USER
 from repro.sim import Event
 from repro.via.descriptors import (
@@ -56,6 +62,17 @@ class ConnectionManager:
 
     def __init__(self) -> None:
         self.engines: Dict[int, "MessagingEngine"] = {}
+        #: Revoked communicator contexts (ULFM MPI_Comm_revoke),
+        #: context -> epoch at revocation.  Revocation rides the same
+        #: out-of-band control plane as the bootstrap notifications, so
+        #: it reaches every engine even when the fabric is broken.
+        self.revoked: Dict[int, int] = {}
+        #: Fault-tolerant agreement deposits (ULFM MPI_Comm_agree):
+        #: (context, seq) -> (flag, survivors).  Written exactly once
+        #: per agreement, by the first tree root to decide; every
+        #: participant that completes returns the deposited value, so
+        #: the result is uniform no matter how many roots die mid-way.
+        self.agreements: Dict = {}
 
     def register(self, engine: "MessagingEngine") -> None:
         self.engines[engine.rank] = engine
@@ -66,6 +83,34 @@ class ConnectionManager:
         if peer is None:
             raise MessagingError(f"no engine registered for rank {to_rank}")
         peer.open_channel_from(from_rank)
+
+    def revoke(self, context: int, epoch: int) -> None:
+        """Propagate a communicator revocation to every engine."""
+        if context in self.revoked:
+            return
+        self.revoked[context] = epoch
+        for engine in self.engines.values():
+            engine.revoke_context(context)
+
+    def deposit_agreement(self, key, flag: bool, survivors) -> tuple:
+        """Record (first-writer-wins) one agreement's decision.
+
+        Returns the authoritative ``(flag, survivors)``.  On a fresh
+        deposit every engine's pending traffic for this agreement is
+        kicked: the decision is final, so participants still blocked in
+        the message protocol re-check the registry instead of waiting
+        for peers that may never send.
+        """
+        existing = self.agreements.get(key)
+        if existing is not None:
+            return existing
+        decision = (flag, tuple(survivors))
+        self.agreements[key] = decision
+        context, seq = key
+        ft_context = -2 * context - 2
+        for engine in self.engines.values():
+            engine.kick_agreement(ft_context, key)
+        return decision
 
 
 class MessagingEngine:
@@ -93,8 +138,27 @@ class MessagingEngine:
         #: state); they re-enter matching as unexpected messages.
         self.stats = {"sends": 0, "recvs": 0, "eager_sent": 0,
                       "rma_sent": 0, "rts_sent": 0, "adverts_sent": 0,
-                      "unexpected": 0, "orphaned_rma": 0}
+                      "unexpected": 0, "orphaned_rma": 0,
+                      "failed_requests": 0, "errored_completions": 0}
+        #: Diagnostics back-reference (hang reports walk
+        #: device -> engine -> pending_requests()).
+        device.engine = self
+        #: Fault-tolerance mode: on only when the cluster carries node
+        #: faults.  Off, the engine does zero extra work per request
+        #: and produces bit-identical event traces.
+        self._ft = bool(getattr(device._fabric_health, "has_node_faults",
+                                False))
+        #: World ranks known dead (mirrors the kernel agent's view; the
+        #: agent's death callback keeps it current).
+        self._dead_peers: set = set()
+        #: In-flight requests, tracked only in FT mode so a death
+        #: notice can fail exactly the doomed ones.
+        self._pending: set = set()
+        #: Communicator contexts revoked via the connection manager.
+        self.revoked: set = set()
         manager.register(self)
+        if self._ft and getattr(device, "agent", None) is not None:
+            device.agent.death_callbacks.append(self._on_peer_dead)
         self.sim.spawn(self._progress(), name=f"engine[{self.rank}]")
 
     # ------------------------------------------------------------------
@@ -104,6 +168,11 @@ class MessagingEngine:
         """Process: the channel to ``peer``, creating it if needed."""
         if peer == self.rank:
             raise MessagingError(f"rank {self.rank}: self-channel")
+        if self._ft and peer in self._dead_peers:
+            raise MpiProcFailed(
+                f"rank {self.rank}: channel to failed rank {peer}",
+                dead_rank=peer,
+            )
         existing = self.channels.get(peer)
         if isinstance(existing, Channel):
             return existing
@@ -116,16 +185,39 @@ class MessagingEngine:
         channel = Channel(self, peer)
         self._vi_to_channel[channel.data_vi.vi_id] = channel
         self._vi_to_channel[channel.ctrl_vi.vi_id] = channel
-        yield from channel.connect(active=self.rank < peer)
+        try:
+            yield from channel.connect(active=self.rank < peer)
+        except (ViaError, MessagingError, MpiError) as exc:
+            # Handshake failed (peer dead, fabric partitioned).  The
+            # failed event stays as a tombstone: later callers yield it
+            # and raise instead of re-dialing a dead peer.
+            if not pending.triggered:
+                pending.fail(exc)
+            raise
         self.channels[peer] = channel
-        pending.succeed()
+        if not pending.triggered:
+            pending.succeed()
         return channel
 
     def open_channel_from(self, peer: int) -> None:
         """Manager callback: open our side of a peer-initiated channel."""
         if peer not in self.channels:
-            self.sim.spawn(self.ensure_channel(peer),
+            self.sim.spawn(self._accept_channel(peer),
                            name=f"accept[{self.rank}<-{peer}]")
+
+    def _accept_channel(self, peer: int):
+        """Process shell: accept with no waiter to throw into.
+
+        The peer can die between dialing us and our ACCEPT going out;
+        the tombstoned channel event already records the failure for
+        anyone who later wants this peer, so the accept itself just
+        stops.
+        """
+        try:
+            yield from self.ensure_channel(peer)
+        except (ViaError, MessagingError, MpiError):
+            if not self._ft:
+                raise
 
     # ------------------------------------------------------------------
     # Public nonblocking API (used by the MPI and QMP facades).
@@ -146,6 +238,8 @@ class MessagingEngine:
         request.synchronous = synchronous
         request.pack_bytes = pack_bytes
         self.stats["sends"] += 1
+        if self._ft:
+            self._track(request)
         self.sim.spawn(self._send_process(request),
                        name=f"send[{self.rank}->{dst}]")
         return request
@@ -179,6 +273,8 @@ class MessagingEngine:
         request = RecvRequest(self.sim, src, tag, context, nbytes)
         request.unpack_bytes = unpack_bytes
         self.stats["recvs"] += 1
+        if self._ft:
+            self._track(request)
         self.sim.spawn(self._recv_process(request),
                        name=f"recv[{self.rank}<-{src}]")
         return request
@@ -187,6 +283,19 @@ class MessagingEngine:
     # Send side.
     # ------------------------------------------------------------------
     def _send_process(self, request: SendRequest):
+        """Process shell: surface failures on the request.
+
+        The body runs as a spawned process with no waiter, so an
+        unhandled raise would take down the whole simulation; a VIA or
+        channel failure (peer death, partitioned fabric) instead fails
+        the request, which throws into whoever waits on it.
+        """
+        try:
+            yield from self._send_body(request)
+        except (ViaError, MessagingError, MpiError) as exc:
+            self._fail_request(request, exc)
+
+    def _send_body(self, request: SendRequest):
         channel = yield from self.ensure_channel(request.dst)
         # Non-contiguous user buffers are packed into contiguous
         # staging before transmission (derived-datatype cost).  The
@@ -223,7 +332,10 @@ class MessagingEngine:
         )
         yield from channel.data_vi.post_send(descriptor)
         # Eager semantics: user buffer already staged -> send complete.
-        request.succeed(request)
+        # (Guarded: a death notice may have failed the request while
+        # this process was blocked on tokens or the host bus.)
+        if not request.triggered:
+            request.succeed(request)
 
     def _send_rendezvous(self, channel: Channel, request: SendRequest):
         self.stats["rma_sent"] += 1
@@ -265,16 +377,26 @@ class MessagingEngine:
 
     def _rma_write(self, channel: Channel, request: SendRequest,
                    advert: Envelope):
+        """Process shell for :meth:`_rma_body` (spawned from the
+        progress loop, so failures must land on the request)."""
+        try:
+            yield from self._rma_body(channel, request, advert)
+        except (ViaError, MessagingError, MpiError) as exc:
+            self._fail_request(request, exc)
+
+    def _rma_body(self, channel: Channel, request: SendRequest,
+                  advert: Envelope):
         """Process: the zero-copy remote write for a matched pair.
 
         Takes the channel send lock: the RMA fragments must not
         interleave with another message's fragments on the data VI.
         """
         if request.nbytes > advert.nbytes:
-            request.fail(MessagingError(
-                f"send of {request.nbytes} bytes into adverted buffer "
-                f"of {advert.nbytes}"
-            ))
+            if not request.triggered:
+                request.fail(MessagingError(
+                    f"send of {request.nbytes} bytes into adverted "
+                    f"buffer of {advert.nbytes}"
+                ))
             return
         lock = channel.send_lock.request()
         yield lock
@@ -294,7 +416,8 @@ class MessagingEngine:
                 # Registration-cache style: release the pin once the
                 # buffer has been DMA'd out.
                 self.device.memory.deregister(region)
-                request.succeed(request)
+                if not request.triggered:
+                    request.succeed(request)
 
             descriptor = RmaWriteDescriptor(
                 region, 0, request.nbytes,
@@ -322,6 +445,14 @@ class MessagingEngine:
     # Receive side.
     # ------------------------------------------------------------------
     def _recv_process(self, request: RecvRequest):
+        """Process shell: surface failures on the request (see
+        :meth:`_send_process`)."""
+        try:
+            yield from self._recv_body(request)
+        except (ViaError, MessagingError, MpiError) as exc:
+            self._fail_request(request, exc)
+
+    def _recv_body(self, request: RecvRequest):
         yield from self.device.host.cpu_work(self.params.match_cost,
                                              PRIO_USER)
         entry = self.unexpected.pop_first_match_by_probe(
@@ -349,20 +480,22 @@ class MessagingEngine:
     def _bind_to_rts(self, request: RecvRequest, entry):
         envelope, _descriptor, channel = entry
         if envelope.nbytes > request.nbytes:
-            request.fail(MessagingError(
-                f"RTS for {envelope.nbytes} bytes, receive of "
-                f"{request.nbytes}"
-            ))
+            if not request.triggered:
+                request.fail(MessagingError(
+                    f"RTS for {envelope.nbytes} bytes, receive of "
+                    f"{request.nbytes}"
+                ))
             return
         yield from self._advertise(channel, request)
 
     def _deliver_unexpected(self, request: RecvRequest, entry):
         envelope, descriptor, channel = entry
         if envelope.nbytes > request.nbytes:
-            request.fail(MessagingError(
-                f"unexpected message of {envelope.nbytes} bytes for "
-                f"receive of {request.nbytes}"
-            ))
+            if not request.triggered:
+                request.fail(MessagingError(
+                    f"unexpected message of {envelope.nbytes} bytes "
+                    f"for receive of {request.nbytes}"
+                ))
             return
         if envelope.nbytes:
             yield from self.device.host.copy(envelope.nbytes, PRIO_USER)
@@ -387,6 +520,13 @@ class MessagingEngine:
             remote_addr=region.addr,
         ))
 
+    def _advertise_safe(self, channel: Channel, request: RecvRequest):
+        """Process shell for adverts spawned from the progress loop."""
+        try:
+            yield from self._advertise(channel, request)
+        except (ViaError, MessagingError, MpiError) as exc:
+            self._fail_request(request, exc)
+
     def _complete_recv(self, request: RecvRequest,
                        envelope: Envelope) -> None:
         request.received_bytes = envelope.nbytes
@@ -399,7 +539,8 @@ class MessagingEngine:
             # Registration-cache style: unpin the landing buffer.
             self.device.memory.deregister(region)
             request.rma_region = None
-        request.succeed(request)
+        if not request.triggered:
+            request.succeed(request)
 
     # ------------------------------------------------------------------
     # Progress: drain VIA receive completions.
@@ -407,6 +548,12 @@ class MessagingEngine:
     def _progress(self):
         while True:
             vi, _queue, descriptor = yield from self.recv_cq.wait()
+            if descriptor.error is not None:
+                # Drained with DescriptorStatus.ERROR (the peer was
+                # declared dead): no envelope arrived and the channel
+                # is torn down — nothing to credit or handle.
+                self.stats["errored_completions"] += 1
+                continue
             channel = self._vi_to_channel.get(vi.vi_id)
             if channel is None:
                 raise MessagingError(
@@ -426,7 +573,17 @@ class MessagingEngine:
                 MsgType.ADVERT: self._handle_advert,
                 MsgType.TOKENS: self._handle_tokens,
             }[envelope.msg_type]
-            yield from handler(channel, envelope, descriptor)
+            try:
+                yield from handler(channel, envelope, descriptor)
+            except (ViaError, MessagingError) as exc:
+                if not self._ft:
+                    raise
+                # Late traffic on a torn-down channel: frames that were
+                # in flight when the peer died complete here, but the
+                # ERROR-state VI refuses reposts.  Drop them — the
+                # requests they fed were failed by the death notice.
+                self.stats["errored_completions"] += 1
+                del exc
             self._maybe_return_tokens(channel)
 
     def _handle_eager(self, channel: Channel, envelope: Envelope,
@@ -445,10 +602,11 @@ class MessagingEngine:
             self._queue_unexpected(envelope, descriptor, channel)
             return
         if envelope.nbytes > request.nbytes:
-            request.fail(MessagingError(
-                f"message of {envelope.nbytes} bytes for receive of "
-                f"{request.nbytes}"
-            ))
+            if not request.triggered:
+                request.fail(MessagingError(
+                    f"message of {envelope.nbytes} bytes for receive "
+                    f"of {request.nbytes}"
+                ))
             return
         yield from channel.data_vi.consume_recv_cost()
         if envelope.nbytes:
@@ -500,14 +658,15 @@ class MessagingEngine:
         )
         if request is not None:
             if envelope.nbytes > request.nbytes:
-                request.fail(MessagingError(
-                    f"RTS for {envelope.nbytes} bytes, receive of "
-                    f"{request.nbytes}"
-                ))
+                if not request.triggered:
+                    request.fail(MessagingError(
+                        f"RTS for {envelope.nbytes} bytes, receive of "
+                        f"{request.nbytes}"
+                    ))
                 return
             # Spawned: an advert may block on control tokens, and the
             # progress loop must never block on flow control.
-            self.sim.spawn(self._advertise(channel, request),
+            self.sim.spawn(self._advertise_safe(channel, request),
                            name=f"advert[{self.rank}]")
             return
         # No receive yet: the RTS queues exactly like an unexpected
@@ -578,8 +737,133 @@ class MessagingEngine:
                 Envelope(MsgType.TOKENS, self.rank, 0, 0, 0),
                 is_token_msg=True,
             )
+        except (ViaError, MessagingError):
+            # Credit return to a dead peer: nothing left to flow-control.
+            if not self._ft:
+                raise
         finally:
             channel.token_msg_pending = False
+
+    # ------------------------------------------------------------------
+    # Fault tolerance (active only with node faults configured).
+    # ------------------------------------------------------------------
+    def _track(self, request) -> None:
+        self._pending.add(request)
+        request.add_callback(lambda _e: self._pending.discard(request))
+
+    def pending_requests(self) -> list:
+        """Untriggered requests, oldest first (hang diagnostics)."""
+        return sorted((r for r in self._pending if not r.triggered),
+                      key=lambda r: r.req_id)
+
+    def _fail_request(self, request, error: Exception) -> None:
+        """Fail one request and scrub it from every matching surface.
+
+        The scrub matters: without it a late-arriving message could
+        match the dead entry and double-complete it, or a stale advert
+        could draw an RMA into a freed buffer.
+        """
+        if request.triggered:
+            return
+        self.stats["failed_requests"] += 1
+        if isinstance(request, RecvRequest):
+            self.posted.remove(request)
+            self.rendezvous_recvs.pop(request.req_id, None)
+            region = getattr(request, "rma_region", None)
+            if region is not None:
+                self.device.memory.deregister(region)
+                request.rma_region = None
+            for channel in self.channels.values():
+                if isinstance(channel, Channel):
+                    channel.outstanding_adverts.remove(request)
+        else:
+            for channel in self.channels.values():
+                if isinstance(channel, Channel):
+                    channel.pending_sends.remove(request)
+        self.sim.progress += 1
+        request.fail(error)
+
+    def _on_peer_dead(self, dead_rank: int) -> None:
+        """Death-notice hook (registered with the kernel agent).
+
+        Fails every pending request the death dooms: sends to the dead
+        rank; receives from it (and from ANY_SOURCE — ULFM fails
+        wildcard receives on any process failure, since the dead rank
+        can no longer be ruled out as the intended sender); all
+        fault-tolerance agreement traffic (negative contexts are
+        blanket-failed so :meth:`Communicator.agree` retries with the
+        new alive-set instead of waiting on a reshuffled tree); and,
+        when the dead rank is this node, everything.
+        """
+        if dead_rank in self._dead_peers:
+            return
+        self._dead_peers.add(dead_rank)
+        own = dead_rank == self.rank
+        error = MpiProcFailed(
+            f"rank {self.rank}: "
+            + ("node crashed" if own else f"peer rank {dead_rank} failed"),
+            dead_rank=dead_rank,
+        )
+        for request in self.pending_requests():
+            doomed = own or request.context < 0
+            if not doomed:
+                # Collective traffic is doomed by *any* death in the
+                # communicator's group, not just a dead direct partner:
+                # a missing relay stalls the whole dissemination chain,
+                # so ranks blocked on live peers would otherwise wait
+                # forever (ULFM: collectives raise MPI_ERR_PROC_FAILED
+                # at every rank that cannot complete).
+                members = getattr(request, "ft_members", None)
+                doomed = members is not None and dead_rank in members
+            if not doomed:
+                if isinstance(request, RecvRequest):
+                    doomed = request.src in (dead_rank, ANY_SOURCE)
+                else:
+                    doomed = request.dst == dead_rank
+            if doomed:
+                self._fail_request(request, error)
+        # A handshake aimed at the dead peer can never complete; wake
+        # its waiters (the connect process guards its own succeed).
+        pending = self.channels.get(dead_rank)
+        if (pending is not None and not isinstance(pending, Channel)
+                and not pending.triggered):
+            pending.fail(ViaError(
+                f"rank {self.rank}: connect to dead rank {dead_rank}"
+            ))
+
+    def revoke_context(self, context: int) -> None:
+        """ULFM revocation arrived: poison the context's wire traffic.
+
+        Pending requests on the communicator's point-to-point and
+        collective contexts fail with :class:`MpiRevoked`; new
+        operations are refused at the communicator layer.  Agreement
+        contexts (negative) are exempt — ULFM requires
+        ``MPI_Comm_agree`` to work on a revoked communicator.
+        """
+        if context in self.revoked:
+            return
+        self.revoked.add(context)
+        wire = (2 * context, 2 * context + 1)
+        error = MpiRevoked(
+            f"rank {self.rank}: communicator context {context} revoked"
+        )
+        for request in self.pending_requests():
+            if request.context in wire:
+                self._fail_request(request, error)
+
+    def kick_agreement(self, ft_context: int, key) -> None:
+        """An agreement was decided: release its blocked participants.
+
+        Participants still inside the message protocol re-enter their
+        retry loop (the thrown failure is caught there), find the
+        deposit, and return the decided value.
+        """
+        error = MpiProcFailed(
+            f"rank {self.rank}: agreement {key} decided out-of-band"
+        )
+        for request in self.pending_requests():
+            if request.context == ft_context:
+                self._fail_request(request, error)
 
 
 def _noop(_descriptor) -> None:

@@ -98,9 +98,16 @@ class Request(Event):
         self.kind = kind
 
     def wait(self):
-        """Process: block until this request completes."""
+        """Process: block until this request completes.
+
+        A failed request raises its exception — including when the
+        failure already landed before ``wait`` was called (the yield
+        path throws; the already-processed path must match it).
+        """
         if not self.processed:
             yield self
+        if self._ok is False:
+            raise self.value
         return self.value
 
     @property

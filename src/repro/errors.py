@@ -8,6 +8,8 @@ VIA status codes, MPI error classes, and QMP status values.
 
 from __future__ import annotations
 
+from typing import Optional
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro package."""
@@ -19,6 +21,17 @@ class SimulationError(ReproError):
 
 class DeadlockError(SimulationError):
     """The event queue drained while processes were still waiting."""
+
+
+class HangError(SimulationError):
+    """The watchdog saw no application progress for too long.
+
+    Raised by :class:`repro.sim.monitor.Watchdog` when the event queue
+    is still busy (keepalive timers, retransmission timers) but no
+    descriptor, request, or collective has completed within the hang
+    window — the distributed-hang analogue of :class:`DeadlockError`,
+    which can never fire while periodic timers keep the queue nonempty.
+    """
 
 
 class InterruptError(SimulationError):
@@ -82,6 +95,27 @@ class TruncationError(MpiError):
 
     def __init__(self, message: str) -> None:
         super().__init__(message, error_class="MPI_ERR_TRUNCATE")
+
+
+class MpiProcFailed(MpiError):
+    """An operation touched a failed rank (ULFM MPI_ERR_PROC_FAILED).
+
+    Raised instead of hanging when the failure detector has declared a
+    peer dead, or when a pending operation is aborted by a failure
+    notice mid-flight.  ``dead_rank`` names the failed world rank when
+    known (None for blanket aborts where several deaths coincide).
+    """
+
+    def __init__(self, message: str, dead_rank: Optional[int] = None) -> None:
+        super().__init__(message, error_class="MPI_ERR_PROC_FAILED")
+        self.dead_rank = dead_rank
+
+
+class MpiRevoked(MpiError):
+    """The communicator was revoked (ULFM MPI_ERR_REVOKED)."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message, error_class="MPI_ERR_REVOKED")
 
 
 class QmpError(ReproError):

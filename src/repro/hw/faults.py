@@ -128,6 +128,78 @@ class FaultParams:
         )
 
 
+@dataclass(frozen=True)
+class NodeFaultSpec:
+    """Seeded node-scoped fault schedule (crash, NIC stall/reboot).
+
+    Node faults compose *on top of* the per-link schedules: the
+    cluster builder merges each spec into the :class:`FaultParams` of
+    every link adjacent to ``rank``, so a crash kills all of the
+    node's links atomically (``die_at``) and a NIC outage window maps
+    to scheduled link outages (``down_at``) on every port at once.
+    A crash additionally tears down the node's own VIs and pending MPI
+    requests at the crash instant (see
+    ``MeshCluster._node_crashed``) so the victim's program observes
+    the failure too, and arms the mesh-wide failure detector.
+    """
+
+    #: World rank of the faulty node.
+    rank: int = 0
+    #: Fail-stop crash instant (us); None = the node never crashes.
+    crash_at: Optional[float] = None
+    #: NIC stall / reboot windows ``((start, end), ...)`` (us): every
+    #: port of the node is down for the window, then comes back.  A
+    #: window shorter than the failure-detector timeout is ridden out
+    #: by retransmission without a false death verdict.
+    nic_down: Tuple[Tuple[float, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.rank < 0:
+            raise ConfigurationError(
+                f"NodeFaultSpec.rank must be >= 0, got {self.rank}"
+            )
+        if self.crash_at is not None and self.crash_at < 0:
+            raise ConfigurationError(
+                f"crash_at must be >= 0, got {self.crash_at}"
+            )
+        for window in self.nic_down:
+            if len(window) != 2 or window[0] > window[1]:
+                raise ConfigurationError(
+                    f"nic_down windows must be (start, end) with "
+                    f"start <= end, got {window!r}"
+                )
+
+    def active(self) -> bool:
+        return self.crash_at is not None or bool(self.nic_down)
+
+
+def merge_node_faults(
+    base: Optional[FaultParams],
+    specs: Tuple[NodeFaultSpec, ...],
+) -> Optional[FaultParams]:
+    """Fold node-fault schedules into one link's :class:`FaultParams`.
+
+    ``specs`` are the node faults of the link's two endpoints; a crash
+    at either endpoint kills the link (earliest crash wins over any
+    existing ``die_at``), and every NIC outage window becomes a link
+    outage window.  Returns ``base`` unchanged when no spec is active.
+    """
+    crash_times = [s.crash_at for s in specs if s.crash_at is not None]
+    windows = tuple(w for s in specs for w in s.nic_down)
+    if not crash_times and not windows:
+        return base
+    params = base if base is not None else FaultParams()
+    die_at = params.die_at
+    if crash_times:
+        earliest = min(crash_times)
+        die_at = earliest if die_at is None else min(die_at, earliest)
+    from dataclasses import replace
+
+    return replace(
+        params, die_at=die_at, down_at=params.down_at + windows,
+    )
+
+
 def _stream_seed(seed: int, name: str, side: int) -> int:
     """Deterministic (unsalted) stream seed for one link direction."""
     return zlib.crc32(f"{seed}:{name}:{side}".encode()) ^ (seed << 1)

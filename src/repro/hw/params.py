@@ -156,6 +156,13 @@ class ViaParams:
     #: frames, or ``rel_ack_delay`` us after the first unACKed one.
     rel_ack_every: int = 4
     rel_ack_delay: float = 25.0
+    #: Failure detector (engaged only when the cluster carries
+    #: :class:`~repro.hw.faults.NodeFaultSpec` node faults): keepalive
+    #: period between torus neighbors, and the silence threshold after
+    #: which a neighbor is declared dead.  The timeout must exceed the
+    #: worst transient NIC stall the deployment wants to ride out.
+    fd_interval: float = 200.0
+    fd_timeout: float = 1000.0
 
 
 @dataclass(frozen=True)

@@ -20,7 +20,13 @@ from repro.core.message import (
     RecvRequest,
     SendRequest,
 )
-from repro.errors import MpiError
+from repro.errors import (
+    MessagingError,
+    MpiError,
+    MpiProcFailed,
+    MpiRevoked,
+    ViaError,
+)
 from repro.mpi.datatypes import BYTE, Datatype
 from repro.mpi.group import Group
 from repro.mpi.op import NULL, Op, SUM
@@ -58,6 +64,14 @@ class Communicator:
         #: Mesh geometry, when the communicator maps 1:1 onto the torus.
         self.torus = torus
         self._derived = itertools.count(1)
+        #: ULFM recovery epoch: 0 at creation, bumped by each
+        #: :meth:`shrink` so post-recovery communicators are
+        #: distinguishable in diagnostics.
+        self.epoch = 0
+        #: Agreement round counter (every rank calls agree/shrink in
+        #: the same order — the usual MPI collective-call discipline —
+        #: so counters stay synchronized without negotiation).
+        self._agree_seq = 0
 
     # -- contexts ----------------------------------------------------------
     @property
@@ -72,6 +86,48 @@ class Communicator:
         if rank == ANY_SOURCE:
             return ANY_SOURCE
         return self.group.world_rank(rank)
+
+    # -- ULFM entry checks -------------------------------------------------
+    def _check_ft(self, peer_world: Optional[int] = None) -> None:
+        """Raise instead of hanging when known failure state dooms the
+        operation (no-op unless node faults are configured)."""
+        engine = self.engine
+        if not engine._ft:
+            return
+        if self.context in engine.revoked:
+            raise MpiRevoked(
+                f"rank {self.rank}: communicator context {self.context} "
+                f"revoked"
+            )
+        dead = engine._dead_peers
+        if not dead:
+            return
+        if engine.rank in dead:
+            raise MpiProcFailed(
+                f"rank {self.rank}: this node has crashed",
+                dead_rank=engine.rank,
+            )
+        if peer_world is not None and peer_world in dead:
+            raise MpiProcFailed(
+                f"rank {self.rank}: operation names failed rank "
+                f"{self.group.local_rank(peer_world)} "
+                f"(world {peer_world})",
+                dead_rank=peer_world,
+            )
+
+    def _check_ft_collective(self) -> None:
+        """Collective entry check: every group member must be alive."""
+        engine = self.engine
+        if not engine._ft:
+            return
+        self._check_ft()
+        dead = [r for r in self.group.ranks() if r in engine._dead_peers]
+        if dead:
+            raise MpiProcFailed(
+                f"rank {self.rank}: collective on communicator with "
+                f"failed world rank(s) {dead}",
+                dead_rank=dead[0],
+            )
 
     @property
     def is_whole_torus(self) -> bool:
@@ -93,6 +149,7 @@ class Communicator:
         """
         size = _resolve_bytes(nbytes, count, datatype)
         pack = datatype.pack_bytes_for(count) if count is not None else 0
+        self._check_ft(self._world(dest))
         return self.engine.isend(self._world(dest), tag,
                                  self._pt2pt_context, size, data=data,
                                  pack_bytes=pack)
@@ -103,6 +160,9 @@ class Communicator:
         """MPI_Irecv (derived datatypes pay an unpacking copy)."""
         size = _resolve_bytes(nbytes, count, datatype)
         pack = datatype.pack_bytes_for(count) if count is not None else 0
+        self._check_ft(
+            self._world(source) if source != ANY_SOURCE else None
+        )
         return self.engine.irecv(self._world(source), tag,
                                  self._pt2pt_context, size,
                                  unpack_bytes=pack)
@@ -113,6 +173,7 @@ class Communicator:
                data: Any = None) -> SendRequest:
         """MPI_Issend: completes only once the receiver has matched."""
         size = _resolve_bytes(nbytes, count, datatype)
+        self._check_ft(self._world(dest))
         return self.engine.isend(self._world(dest), tag,
                                  self._pt2pt_context, size, data=data,
                                  synchronous=True)
@@ -196,13 +257,38 @@ class Communicator:
     # -- internal pt2pt on the collective context -----------------------------
     def coll_isend(self, dest: int, tag: int, nbytes: int,
                    data: Any = None, route=None) -> SendRequest:
-        return self.engine.isend(self._world(dest), tag,
-                                 self._coll_context, nbytes, data=data,
-                                 route=route)
+        # Schedule-time alive check: every collective step funnels
+        # through here, so an algorithm aborts cleanly mid-operation
+        # (MpiProcFailed) as soon as any group member is declared dead.
+        self._check_ft_collective()
+        request = self.engine.isend(self._world(dest), tag,
+                                    self._coll_context, nbytes, data=data,
+                                    route=route)
+        self._tag_collective(request)
+        return request
 
     def coll_irecv(self, source: int, tag: int, nbytes: int) -> RecvRequest:
-        return self.engine.irecv(self._world(source), tag,
-                                 self._coll_context, nbytes)
+        self._check_ft_collective()
+        request = self.engine.irecv(self._world(source), tag,
+                                    self._coll_context, nbytes)
+        self._tag_collective(request)
+        return request
+
+    def _tag_collective(self, request) -> None:
+        """Mark a collective-context request with the group membership.
+
+        The engine's death-notice handler fails every tagged request
+        whose group contains the dead rank — a collective is doomed by
+        *any* member death (the dead rank may be an interior relay of
+        the algorithm), even when this particular request's direct
+        partner is alive.
+        """
+        if self.engine._ft:
+            members = self.__dict__.get("_ft_members")
+            if members is None:
+                members = frozenset(self.group.ranks())
+                self._ft_members = members
+            request.ft_members = members
 
     # -- collectives ----------------------------------------------------------
     def bcast(self, root: int = 0, nbytes: Optional[int] = None,
@@ -335,6 +421,145 @@ class Communicator:
         size = _resolve_bytes(nbytes, count, datatype)
         result = yield from alltoall_mod.alltoall(self, size, data)
         return result
+
+    # -- ULFM fault tolerance --------------------------------------------------
+    @property
+    def _ft_context(self) -> int:
+        """Wire context for fault-tolerant agreement traffic.
+
+        Negative, so it can never collide with the non-negative
+        ``2*context`` / ``2*context + 1`` point-to-point and collective
+        contexts; the engine blanket-fails negative-context requests on
+        every death notice (agreement trees reshuffle, so a pending
+        receive may wait on a rank that will never send) and exempts
+        them from revocation (ULFM: agree works on a revoked
+        communicator).
+        """
+        return -2 * self.context - 2
+
+    def revoke(self) -> None:
+        """ULFM MPI_Comm_revoke: mark this communicator unusable.
+
+        Propagates out-of-band through the connection manager (the
+        moral equivalent of the real system's TCP bootstrap plane, and
+        the only channel guaranteed to work when the fabric is down):
+        every engine fails its pending requests on this context with
+        :class:`MpiRevoked`, and all future operations on any rank's
+        handle raise at entry.  Idempotent; survivors typically call
+        this after catching :class:`MpiProcFailed`, then
+        :meth:`agree` / :meth:`shrink` to recover.
+        """
+        self.engine.manager.revoke(self.context, self.epoch)
+
+    @property
+    def revoked(self) -> bool:
+        return self.context in self.engine.revoked
+
+    def agree(self, flag: bool = True):
+        """Process: ULFM MPI_Comm_agree.
+
+        Returns the logical AND of every surviving caller's ``flag``;
+        all callers that return (rather than dying) return the same
+        value, even across failures during the agreement itself.
+        Works on a revoked communicator.
+        """
+        result, _survivors = yield from self._agree(flag)
+        return result
+
+    def _agree(self, flag: bool):
+        """Process: agreement protocol; returns (flag, survivors).
+
+        A binary tree over the current alive members reduces the flags
+        up and broadcasts the decision down.  The first root to decide
+        deposits ``(flag, survivors)`` in the connection manager's
+        write-once registry — the deposit, not the messages, is the
+        authoritative decision, which is what makes the protocol safe
+        to retry with a reshuffled tree after mid-agreement deaths:
+
+        * every death notice blanket-fails pending agreement traffic
+          (negative context), so no participant waits on a tree peer
+          that no longer exists — it re-enters the loop and rebuilds
+          the tree from the new alive-set;
+        * a fresh deposit "kicks" all still-blocked participants the
+          same way, and each retry starts by consulting the registry;
+        * result messages only ever carry the deposited value (the
+          root sends what it deposited; inner nodes forward verbatim),
+          so whichever path a caller completes by, the value agrees.
+
+        Contributions and results use distinct tags (``2*seq`` /
+        ``2*seq + 1``) so a stale contribution from an earlier attempt
+        can never be mistaken for a decision.
+        """
+        engine = self.engine
+        manager = engine.manager
+        self._agree_seq += 1
+        seq = self._agree_seq
+        key = (self.context, seq)
+        context = self._ft_context
+        value = bool(flag)
+        while True:
+            decided = manager.agreements.get(key)
+            if decided is not None:
+                return decided
+            if engine.rank in engine._dead_peers:
+                raise MpiProcFailed(
+                    f"rank {self.rank}: this node has crashed",
+                    dead_rank=engine.rank,
+                )
+            alive = tuple(r for r in self.group.ranks()
+                          if r not in engine._dead_peers)
+            index = alive.index(engine.rank)
+            parent = alive[(index - 1) // 2] if index > 0 else None
+            children = [alive[c] for c in (2 * index + 1, 2 * index + 2)
+                        if c < len(alive)]
+            try:
+                subtree = value
+                for child in children:
+                    request = engine.irecv(child, 2 * seq, context, 64)
+                    yield from request.wait()
+                    subtree = subtree and bool(request.received_data)
+                if parent is None:
+                    decided = manager.deposit_agreement(key, subtree,
+                                                        alive)
+                    result = decided[0]
+                else:
+                    up = engine.isend(parent, 2 * seq, context, 64,
+                                      data=subtree)
+                    yield from up.wait()
+                    down = engine.irecv(parent, 2 * seq + 1, context, 64)
+                    yield from down.wait()
+                    result = bool(down.received_data)
+                for child in children:
+                    engine.isend(child, 2 * seq + 1, context, 64,
+                                 data=result)
+                decided = manager.agreements.get(key)
+                if decided is not None:
+                    return decided
+                return (result, alive)
+            except (MpiError, ViaError, MessagingError):
+                continue
+
+    def shrink(self) -> Any:
+        """Process: ULFM MPI_Comm_shrink.
+
+        Agrees on the survivor set and returns a new communicator over
+        it (derived context, ``epoch + 1``).  The survivor set comes
+        from the agreement deposit, so every live caller builds the
+        identical group even when their local alive views briefly
+        disagree.  The torus geometry is dropped — collectives on the
+        shrunken communicator fall back to the generic binomial
+        algorithms, exactly like any sub-communicator.
+        """
+        _flag, survivors = yield from self._agree(True)
+        members = [r for r in self.group.ranks() if r in survivors]
+        context = self.context * 64 + next(self._derived)
+        new_group = self.group.subset(
+            self.group.local_rank(world) for world in members
+        )
+        shrunk = Communicator(self.engine, new_group, context,
+                              torus=None)
+        shrunk.epoch = self.epoch + 1
+        return shrunk
 
     # -- communicator management ---------------------------------------------
     def dup(self) -> "Communicator":

@@ -15,10 +15,20 @@ def wait(request: Request):
 
 
 def waitall(requests: Iterable[Request]):
-    """Process: MPI_Waitall — block until every request completes."""
+    """Process: MPI_Waitall — block until every request completes.
+
+    Raises the first failure: either thrown by the AllOf when a
+    constituent fails mid-wait, or re-raised here for requests that
+    had already failed before the call (those are filtered out of the
+    AllOf, which would otherwise silently swallow them).
+    """
+    requests = list(requests)
     pending = [r for r in requests if not r.triggered]
     if pending:
         yield AllOf(pending[0].sim, pending)
+    for request in requests:
+        if request.triggered and not request.ok:
+            raise request.value
     return None
 
 

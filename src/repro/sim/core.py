@@ -55,6 +55,18 @@ class Simulator:
         self._crashed: list = []
         #: Events processed by this simulator.
         self.events_processed = 0
+        #: Application-progress counter: completion surfaces (VI
+        #: descriptor completions, messaging-core request completions,
+        #: kernel-collective results) bump this so the hang watchdog
+        #: can distinguish real progress from timer churn — keepalive
+        #: and retransmission timers keep the event queue busy forever,
+        #: so queue activity alone cannot witness liveness.
+        self.progress = 0
+        #: Optional zero-argument callable returning extra diagnostics
+        #: (stuck VIs/requests/ranks); appended to deadlock and hang
+        #: reports.  Installed by ``MeshCluster`` when node faults are
+        #: configured.
+        self.hang_diagnostics = None
         #: Sampled once at construction; all fast-path branches key off
         #: this so a mid-run flag flip cannot desynchronize a simulation.
         self._fast = fastpath.enabled()
@@ -327,10 +339,7 @@ class Simulator:
                             when = entry_time
                             source = 3
                     if source == 0:
-                        raise DeadlockError(
-                            f"simulation deadlocked waiting for "
-                            f"{process.name!r} at t={self._now:.3f}us"
-                        )
+                        raise self._deadlock(process)
                     if source == 1:
                         event = urgent.popleft()[2]
                     elif source == 2:
@@ -357,10 +366,7 @@ class Simulator:
         while not process.triggered:
             when, source = self._select()
             if source == 0:
-                raise DeadlockError(
-                    f"simulation deadlocked waiting for {process.name!r} "
-                    f"at t={self._now:.3f}us"
-                )
+                raise self._deadlock(process)
             if limit is not None and when > limit:
                 raise SimulationError(
                     f"{process.name!r} did not finish by t={limit}us"
@@ -370,6 +376,16 @@ class Simulator:
         if not process.ok:
             raise process.value
         return process.value
+
+    def _deadlock(self, process: Process) -> DeadlockError:
+        """Build a deadlock error, appending hang diagnostics if any."""
+        message = (
+            f"simulation deadlocked waiting for {process.name!r} "
+            f"at t={self._now:.3f}us"
+        )
+        if self.hang_diagnostics is not None:
+            message += "\n" + self.hang_diagnostics()
+        return DeadlockError(message)
 
     def peek(self) -> float:
         """Timestamp of the next event, or +inf if the queue is empty."""

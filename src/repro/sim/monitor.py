@@ -95,6 +95,13 @@ RELIABILITY_COUNTERS = (
     "connect_retries",
     "dup_connects",
     "dup_accepts",
+    # Failure-detector activity (node faults only).
+    "keepalives_sent",
+    "keepalives_received",
+    "dead_notices_sent",
+    "dead_notices_received",
+    "peers_declared_dead",
+    "recv_drained",
 )
 
 
@@ -107,10 +114,82 @@ def reliability_summary(totals: Dict[str, int]) -> str:
     parts = [
         f"{key}={totals[key]}"
         for key in (*RELIABILITY_COUNTERS, "frames_dropped",
-                    "frames_corrupted")
+                    "frames_corrupted", "hangs_detected", "retry_storms")
         if totals.get(key)
     ]
     return " ".join(parts) if parts else "no fault activity"
+
+
+class Watchdog:
+    """Hang and retry-storm monitor for node-fault campaigns.
+
+    Periodic timers (keepalives, retransmission timers) keep the event
+    queue busy forever, so the kernel's :class:`DeadlockError` can
+    never fire during a *distributed* hang — the queue never drains.
+    The watchdog bounds those instead: it samples the simulator's
+    application-progress counter (bumped on descriptor/request/
+    collective completions) and raises
+    :class:`~repro.errors.HangError` with a diagnostic naming the
+    stuck VIs/requests/ranks when no progress lands within
+    ``hang_after`` us while the simulation is still being driven.
+
+    ``hang_after`` defaults comfortably above the longest legitimate
+    quiet stretch (a full connect/retransmission retry budget, ~40 ms
+    of simulated time at the default RTO schedule).
+
+    Retry storms — more than ``storm_retransmits`` retransmissions in
+    one ``interval`` — are counted in ``counters["retry_storms"]``
+    (surfaced through ``reliability_summary``), not fatal.
+
+    Installed automatically by ``MeshCluster.attach_via`` when node
+    faults are configured; instantiable manually for other setups.
+    """
+
+    def __init__(self, cluster, interval: float = 500.0,
+                 hang_after: float = 60_000.0,
+                 storm_retransmits: int = 200) -> None:
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.interval = interval
+        self.hang_after = hang_after
+        self.storm_retransmits = storm_retransmits
+        self.counters = {"hangs_detected": 0, "retry_storms": 0,
+                         "checks": 0}
+        self._last_progress = self.sim.progress
+        self._stalled_since = self.sim.now
+        self._last_retransmits = 0
+        self.sim.spawn(self._loop(), name="watchdog")
+
+    def _retransmit_total(self) -> int:
+        return sum(
+            node.via.agent.stats["retransmits"]
+            for node in self.cluster.nodes if node.via is not None
+        )
+
+    def _loop(self):
+        from repro.errors import HangError
+
+        sim = self.sim
+        while True:
+            yield sim.timeout(self.interval)
+            self.counters["checks"] += 1
+            progress = sim.progress
+            if progress != self._last_progress:
+                self._last_progress = progress
+                self._stalled_since = sim.now
+            elif sim.now - self._stalled_since > self.hang_after:
+                self.counters["hangs_detected"] += 1
+                raise HangError(
+                    f"no application progress for "
+                    f"{sim.now - self._stalled_since:.0f}us "
+                    f"(hang watchdog, t={sim.now:.1f}us)\n"
+                    + self.cluster.hang_report()
+                )
+            retransmits = self._retransmit_total()
+            if retransmits - self._last_retransmits >= \
+                    self.storm_retransmits:
+                self.counters["retry_storms"] += 1
+            self._last_retransmits = retransmits
 
 
 class Probe:

@@ -72,7 +72,43 @@ class KernelCollective:
         self.children = dimension_order_children(torus, root, rank)
         self._sequence = 0
         self._ops: Dict[int, _OpState] = {}
-        self.stats = {"reductions": 0, "combines": 0}
+        self.stats = {"reductions": 0, "combines": 0, "aborted": 0}
+
+    def _check_alive(self) -> None:
+        """Schedule-time alive-set check: refuse to start a reduction
+        that already has a dead participant (every node contributes)."""
+        health = self.device._fabric_health
+        if health is None or not getattr(health, "has_node_faults",
+                                         False):
+            return
+        dead = [rank for rank in range(self.device.torus.size)
+                if not health.node_alive(rank)]
+        if dead:
+            raise ViaError(
+                f"node {self.device.rank}: kernel collective with dead "
+                f"participant(s) {dead}"
+            )
+
+    def _fail_pending(self, error: ViaError) -> None:
+        for sequence, state in list(self._ops.items()):
+            waiter = state.waiter
+            if waiter is not None and not waiter.triggered:
+                self.stats["aborted"] += 1
+                del self._ops[sequence]
+                waiter.fail(error)
+
+    def on_peer_dead(self, dead_rank: int, reason: str = "") -> None:
+        """Abort in-flight reductions: a participant died mid-wave."""
+        self._fail_pending(ViaError(
+            f"node {self.device.rank}: kernel collective aborted, "
+            f"node {dead_rank} {reason or 'declared dead'}"
+        ))
+
+    def on_local_crash(self, reason: str = "node crashed") -> None:
+        self._fail_pending(ViaError(
+            f"node {self.device.rank}: kernel collective aborted, "
+            f"local {reason}"
+        ))
 
     # -- user API ---------------------------------------------------------
     def global_sum(self, value: Any, op: Callable[[Any, Any], Any],
@@ -91,6 +127,7 @@ class KernelCollective:
         state.nbytes = nbytes
         state.waiter = self.sim.event(name=f"kcoll[{self.device.rank}]")
         self.stats["reductions"] += 1
+        self._check_alive()
         # Depositing the contribution crosses into the kernel.
         yield from self.device.host.cpu_work(
             self.device.host.params.syscall_cost, PRIO_USER
@@ -163,13 +200,19 @@ class KernelCollective:
                 f"node {self.device.rank}: collective result with no "
                 "local participant"
             )
+        self.sim.progress += 1
         state.waiter.succeed(value)
 
     def _send(self, kind: PacketKind, dst: int, sequence: int,
               value: Any, nbytes: int):
         """Process: one kernel-level collective packet."""
         device = self.device
-        port = device.egress_port(dst)
+        try:
+            port = device.egress_port(dst)
+        except ViaError:
+            # Destination unreachable (node death partitioned it off):
+            # drop; the failure notice aborts the op at every waiter.
+            return
         packet = ViaPacket(
             kind=kind,
             src_node=device.rank,

@@ -31,6 +31,8 @@ class PacketKind(enum.Enum):
     REDUCE = "reduce"          # interrupt-level partial reduction (s7)
     CBCAST = "cbcast"          # interrupt-level result broadcast (s7)
     ACK = "ack"                # reliable-delivery cumulative ACK
+    KEEPALIVE = "keepalive"    # failure-detector neighbor heartbeat
+    DEADNOTICE = "deadnotice"  # failure-detector death gossip
 
 
 @dataclass

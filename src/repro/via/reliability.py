@@ -149,7 +149,14 @@ class ReliableChannel:
                 )
         else:
             peer_node, _peer_vi = self.vi.peer
-            port = device.egress_port(peer_node, packet=packet)
+            try:
+                port = device.egress_port(peer_node, packet=packet)
+            except ViaError:
+                # No live route (the peer's node died and took every
+                # path with it): drop this attempt.  Either a later
+                # retry finds a route or the failure detector tears
+                # the VI down and fails the pending sends.
+                return
         yield from port.enqueue_tx(frame)
 
     # -- retransmission timer ----------------------------------------------
@@ -208,6 +215,29 @@ class ReliableChannel:
             f"unacknowledged)"
         )
         agent.stats["rel_failures"] += 1
+        while self.unacked:
+            entry = self.unacked.popleft()
+            if entry.descriptor is not None:
+                vi.fail_send(entry.descriptor)
+        self._wake_window_waiters()
+        # A whole retry budget burned without one ACK is strong
+        # evidence the peer is gone — hand it to the failure detector
+        # (a no-op unless the cluster carries node faults).
+        agent.report_retry_exhausted(vi)
+
+    def fail_peer_dead(self, error: ViaError) -> None:
+        """Tear down the transmit side: the peer was declared dead.
+
+        Unacknowledged sends fail through the normal completion path
+        (``DescriptorStatus.ERROR``) and window waiters wake into
+        ``_check_error`` so blocked senders raise instead of hanging.
+        """
+        from repro.via.vi import ViState
+
+        vi = self.vi
+        if vi.state is not ViState.ERROR:
+            vi.state = ViState.ERROR
+            vi.error = error
         while self.unacked:
             entry = self.unacked.popleft()
             if entry.descriptor is not None:
@@ -315,5 +345,9 @@ class ReliableChannel:
         ).seal()
         frame = Frame(0, device.params.header_bytes, payload=packet,
                       kind="via-ack")
-        port = device.egress_port(peer_node, packet=packet)
+        try:
+            port = device.egress_port(peer_node, packet=packet)
+        except ViaError:
+            # ACK to an unreachable peer: nothing to acknowledge to.
+            return
         yield from port.enqueue_tx(frame)

@@ -186,6 +186,7 @@ class VI:
 
     # -- device-side completion delivery -------------------------------------
     def complete_send(self, descriptor: Descriptor) -> None:
+        self.device.sim.progress += 1
         descriptor.mark_done(self.device.sim.now)
         if descriptor.on_complete is not None:
             descriptor.on_complete(descriptor)
@@ -200,6 +201,7 @@ class VI:
         budget exhausted).  The descriptor is marked errored and still
         pushed to the normal completion surface, mirroring how VIA
         reports transport errors through the completion path."""
+        self.device.sim.progress += 1
         descriptor.error = self.error
         descriptor.mark_error(self.device.sim.now)
         if descriptor.on_complete is not None:
@@ -210,7 +212,27 @@ class VI:
             self._send_done.items.append(descriptor)
             self._send_done._dispatch()
 
+    def fail_recv(self, descriptor: RecvDescriptor) -> None:
+        """Deliver a failed receive completion (peer declared dead).
+
+        Draining posted receive buffers with ``DescriptorStatus.ERROR``
+        through the normal completion surface is what lets a blocked
+        ``recv_wait()``/CQ ``wait()`` return instead of hanging when
+        the peer node dies.
+        """
+        self.device.sim.progress += 1
+        descriptor.error = self.error
+        descriptor.mark_error(self.device.sim.now)
+        if descriptor.on_complete is not None:
+            descriptor.on_complete(descriptor)
+        elif self.recv_cq is not None:
+            self.recv_cq.push(self, RECV_QUEUE, descriptor)
+        else:
+            self._recv_done.items.append(descriptor)
+            self._recv_done._dispatch()
+
     def complete_recv(self, descriptor: RecvDescriptor) -> None:
+        self.device.sim.progress += 1
         self.stats["recvs"] += 1
         self.stats["recv_bytes"] += descriptor.received_bytes
         descriptor.mark_done(self.device.sim.now)

@@ -9,6 +9,24 @@ from repro.sim import Simulator
 from repro.via.descriptors import RecvDescriptor, SendDescriptor
 
 
+@pytest.fixture(autouse=True)
+def _clean_fault_state():
+    """Module-level fault state must never leak between tests.
+
+    The injector registry and the ambient fault default are process
+    globals (the bench CLI's convenience); a test that builds a faulty
+    cluster or sets an ambient schedule and then fails would otherwise
+    poison every later test's clusters.
+    """
+    from repro.hw import faults
+
+    faults.clear_registry()
+    faults.set_ambient(None)
+    yield
+    faults.clear_registry()
+    faults.set_ambient(None)
+
+
 @pytest.fixture
 def sim():
     return Simulator()

@@ -75,3 +75,27 @@ def test_cli_rejects_unknown():
 
     with pytest.raises(BenchmarkError):
         main(["fig99"])
+
+
+def test_lqcd_fault_tolerance_example():
+    output = _run_example("lqcd_fault_tolerance.py")
+    assert "victim rank 5 crashes" in output
+    assert "shrunk to 7 ranks" in output
+    assert "all 7 survivors recovered" in output
+    assert "no operation hung" in output
+
+
+def test_cli_chaos_flag(capsys):
+    from repro.bench.__main__ import main
+
+    assert main(["--chaos", "2", "--fault-seed", "5"]) == 0
+    captured = capsys.readouterr()
+    assert "Chaos campaigns (seed 5)" in captured.out
+    assert "deterministic" in captured.out
+
+
+def test_cli_requires_experiments_or_chaos():
+    from repro.bench.__main__ import main
+
+    with pytest.raises(SystemExit):
+        main([])
