@@ -73,9 +73,32 @@ def main(argv=None) -> int:
                         metavar="SEED",
                         help="seed for the deterministic fault streams "
                              "(same seed => identical fault schedule)")
+    parser.add_argument("--trace", metavar="OUT.json", default=None,
+                        help="run an 8-node fig5-style collective with "
+                             "the flight recorder on and write a "
+                             "Chrome/Perfetto trace-event JSON file")
+    parser.add_argument("--breakdown", action="store_true",
+                        help="print the per-span-kind latency "
+                             "breakdown of the fig2 point workload")
     args = parser.parse_args(argv)
-    if not args.experiments and not args.chaos:
-        parser.error("name at least one experiment (or use --chaos N)")
+    if (not args.experiments and not args.chaos and not args.trace
+            and not args.breakdown):
+        parser.error("name at least one experiment (or use --chaos N, "
+                     "--trace OUT.json, --breakdown)")
+
+    if args.trace or args.breakdown:
+        from repro.bench import observability as obs_bench
+
+        if args.trace:
+            sys.stdout.write(
+                obs_bench.export_trace(args.trace, quick=args.quick)
+            )
+        if args.breakdown:
+            sys.stdout.write(
+                obs_bench.breakdown_report(quick=args.quick)
+            )
+        if not args.experiments and not args.chaos:
+            return 0
 
     if args.chaos:
         from repro.bench.chaos import run_chaos

@@ -66,9 +66,10 @@ def via_latency(nbytes: int = 4, repeats: int = 20, hops: int = 1,
     return result["rtt2"]
 
 
-def via_pingpong_bandwidth(nbytes: int, repeats: int = 6) -> float:
+def via_pingpong_bandwidth(nbytes: int, repeats: int = 6,
+                           **cluster_kwargs) -> float:
     """Alternating-direction bandwidth (MB/s) at ``nbytes``."""
-    cluster, (vi0, r0), (vi1, r1) = _via_pair(nbytes)
+    cluster, (vi0, r0), (vi1, r1) = _via_pair(nbytes, **cluster_kwargs)
     sim = cluster.sim
     result: Dict[str, float] = {}
 

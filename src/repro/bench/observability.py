@@ -1,0 +1,87 @@
+"""Observability workloads behind ``python -m repro.bench``.
+
+``--trace OUT.json`` runs an 8-node fig5-style collective (broadcast +
+global sum on a (2,2,2) wrap torus) with the flight recorder attached
+and writes a Chrome trace-event / Perfetto JSON file.
+
+``--breakdown`` runs the fig2 point workload (4-byte VIA ping-pong)
+and prints the per-span-kind latency table; its api-call component is
+the paper's ~6 us host overhead (send 2.68 + receive 3.68).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.obs import FlightRecorder
+from repro.obs.export import (
+    api_overhead_per_message,
+    breakdown_table,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+
+
+def traced_collective(dims: Tuple[int, ...] = (2, 2, 2),
+                      nbytes: int = 4096,
+                      recorder: Optional[FlightRecorder] = None):
+    """Run the fig5-style collective with the recorder on; returns it."""
+    from repro.cluster.builder import build_mesh
+    from repro.cluster.process_api import build_world, run_mpi
+
+    cluster = build_mesh(dims, wrap=True)
+    if recorder is not None:
+        cluster.sim.recorder = recorder
+    recorder = cluster.observability()
+    comms = build_world(cluster)
+
+    def program(comm, nbytes=nbytes):
+        yield from comm.barrier()
+        yield from comm.bcast(root=0, nbytes=nbytes)
+        yield from comm.allreduce(nbytes=max(nbytes, 8))
+
+    run_mpi(cluster, program, comms=comms)
+    return recorder
+
+
+def export_trace(path: str, quick: bool = False) -> str:
+    """Run the traced collective and write ``path``; returns a one-line
+    summary (raises ``RuntimeError`` if the JSON fails validation)."""
+    recorder = traced_collective(nbytes=1024 if quick else 4096)
+    trace = write_chrome_trace(recorder, path)
+    problems = validate_chrome_trace(trace)
+    if problems:
+        raise RuntimeError(
+            "trace failed schema validation: " + "; ".join(problems[:5])
+        )
+    kinds = sorted(recorder.kinds())
+    return (
+        f"[trace: {path} — {len(recorder.traces)} messages, "
+        f"{len(recorder.spans)} spans, {len(recorder.events)} events, "
+        f"{len(kinds)} kinds ({', '.join(kinds)}); "
+        f"open at https://ui.perfetto.dev]\n"
+    )
+
+
+def breakdown_report(quick: bool = False) -> str:
+    """Run the fig2 point workload and render the breakdown table."""
+    from repro.bench.microbench import via_latency
+    from repro.sim import Simulator
+
+    sim = Simulator()
+    recorder = FlightRecorder()
+    sim.recorder = recorder
+    latency = via_latency(nbytes=4, repeats=10 if quick else 20, sim=sim)
+    return (
+        "per-message latency breakdown "
+        f"(fig2 point: 4-byte VIA ping-pong, one-way {latency:.2f} us)\n"
+        + breakdown_table(recorder)
+    )
+
+
+__all__ = [
+    "api_overhead_per_message",
+    "breakdown_report",
+    "export_trace",
+    "traced_collective",
+]

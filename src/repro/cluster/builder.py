@@ -215,8 +215,24 @@ class MeshCluster:
         if node.via is not None:
             node.via.agent.on_local_crash()
 
+    def observability(self, metrics_interval: float = 50.0):
+        """Attach (idempotently) and return the flight recorder.
+
+        Attach before driving traffic so every message gets a trace id
+        at its entry point; ``metrics_interval`` is the bucket width
+        (us) of the metrics timelines.  See ``docs/OBSERVABILITY.md``.
+        """
+        if self.sim.recorder is None:
+            from repro.obs import FlightRecorder
+
+            self.sim.recorder = FlightRecorder(
+                metrics_interval=metrics_interval
+            )
+        return self.sim.recorder
+
     def hang_report(self) -> str:
         """Diagnostic naming stuck VIs/requests/ranks (watchdog food)."""
+        recorder = getattr(self.sim, "recorder", None)
         lines = [
             f"alive-set: {self.alive_ranks()} of {self.size}",
         ]
@@ -241,6 +257,13 @@ class MeshCluster:
                         + (", mid-reassembly"
                            if vi._reassembly is not None else "")
                     )
+                    if recorder is not None:
+                        # Last flight-recorder spans on the stuck VI's
+                        # node: what the message was doing when it
+                        # stopped making progress.
+                        for span in recorder.tail(
+                                track=f"n{node.rank}", limit=20):
+                            lines.append("    " + span.describe())
             engine = getattr(node.via, "engine", None)
             if engine is not None and engine.pending_requests():
                 pending = engine.pending_requests()

@@ -47,6 +47,7 @@ from repro.errors import (
     ViaError,
 )
 from repro.hw.node import PRIO_USER
+from repro.obs.recorder import API_CALL as _API_CALL
 from repro.sim import Event
 from repro.via.descriptors import (
     RecvDescriptor,
@@ -237,6 +238,14 @@ class MessagingEngine:
         request.route = tuple(route) if route else None
         request.synchronous = synchronous
         request.pack_bytes = pack_bytes
+        rec = self.sim.recorder
+        if rec is not None:
+            # MPI/QMP entry point: the message is born here; the trace
+            # id rides the envelope, descriptor, and every fragment.
+            request.trace = rec.start_trace(
+                f"msg[{self.rank}->{dst}] tag{tag} {nbytes}B",
+                f"n{self.rank}", self.sim.now,
+            )
         self.stats["sends"] += 1
         if self._ft:
             self._track(request)
@@ -330,6 +339,10 @@ class MessagingEngine:
             payload=envelope, on_complete=_noop,
             route=request.route,
         )
+        if self.sim.recorder is not None:
+            ctx = getattr(request, "trace", None)
+            envelope.trace = ctx
+            descriptor.trace = ctx
         yield from channel.data_vi.post_send(descriptor)
         # Eager semantics: user buffer already staged -> send complete.
         # (Guarded: a death notice may have failed the request while
@@ -368,6 +381,10 @@ class MessagingEngine:
                     channel.bounce_region, 0, Envelope.HEADER_BYTES,
                     payload=envelope, on_complete=_noop,
                 )
+                if self.sim.recorder is not None:
+                    ctx = getattr(request, "trace", None)
+                    envelope.trace = ctx
+                    descriptor.trace = ctx
                 yield from channel.data_vi.post_send(descriptor)
                 # The advert handler performs the RMA on arrival.
                 return
@@ -426,6 +443,10 @@ class MessagingEngine:
                 on_complete=complete,
                 route=request.route,
             )
+            if self.sim.recorder is not None:
+                ctx = getattr(request, "trace", None)
+                envelope.trace = ctx
+                descriptor.trace = ctx
             yield from channel.data_vi.post_rma_write(descriptor)
         finally:
             channel.send_lock.release(lock)
@@ -608,7 +629,13 @@ class MessagingEngine:
                     f"of {request.nbytes}"
                 ))
             return
+        rec = self.sim.recorder
+        if rec is not None:
+            t0 = self.sim.now
         yield from channel.data_vi.consume_recv_cost()
+        if rec is not None and envelope.trace is not None:
+            rec.span(envelope.trace, _API_CALL, "consume_recv",
+                     f"n{self.rank}", t0, self.sim.now)
         if envelope.nbytes:
             yield from self.device.host.copy(envelope.nbytes, PRIO_USER)
         self._complete_recv(request, envelope)
@@ -629,7 +656,13 @@ class MessagingEngine:
             self._repost(channel, descriptor)
             return
         self.posted.remove(request)
+        rec = self.sim.recorder
+        if rec is not None:
+            t0 = self.sim.now
         yield from channel.data_vi.consume_recv_cost()
+        if rec is not None and envelope.trace is not None:
+            rec.span(envelope.trace, _API_CALL, "consume_recv",
+                     f"n{self.rank}", t0, self.sim.now)
         unpack = getattr(request, "unpack_bytes", 0)
         if unpack:
             # Derived-datatype receive: scatter the contiguous landing

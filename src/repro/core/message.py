@@ -50,6 +50,9 @@ class Envelope:
     #: Piggybacked credit returns.
     data_tokens: int = 0
     ctrl_tokens: int = 0
+    #: Flight-recorder trace id (observability only; not part of the
+    #: wire header).
+    trace: Any = field(default=None, repr=False)
 
     #: Wire size of the core header inside the VIA payload.
     HEADER_BYTES = 32

@@ -54,6 +54,7 @@ from typing import List, Optional
 
 from repro.hw.node import PCIX_RATE
 from repro.hw.pci import _EPS, _MIN_HORIZON
+from repro.obs.recorder import DMA, WIRE_HOP
 from repro.sim.events import Callback
 
 #: Minimum burst size worth planning; shorter bursts go per-frame.
@@ -314,6 +315,47 @@ def commit_train(port, frames, plan: _Plan) -> VirtualResidue:
                 guard_scope=scope, at=when,
             )
 
+    rec = sim.recorder
+    if rec is not None:
+        _record_train_spans(port, frames, plan, rec)
+
     free_at = [t for t in plan.slot_release if t > plan.fetch_free]
     port._virt = VirtualResidue(plan.wire_ready, free_at)
     return port._virt
+
+
+def _record_train_spans(port, frames, plan: _Plan, rec) -> None:
+    """Synthesize the spans/metrics the reference per-frame path would
+    have recorded for this train (recorder-on runs only).
+
+    The fetch-start chain is recomputed with the same recurrence
+    ``plan_train`` used, so every instant is the identical IEEE-754
+    float the slow path's instrumentation would capture — recorder
+    output stays scheduler-mode identical.
+    """
+    sim = port.sim
+    link = port.link
+    host = port.host
+    node = f"n{host.node_id}"
+    tx_proc = port.params.tx_proc
+    fifo_cap = int(port._tx_fifo.capacity)
+    dma_overhead = port.params.frame_overhead
+    bus_series = "bus:" + host.membus.name
+    pci_series = f"pci{port.pci_index}:{node}"
+    p_prev = sim._now
+    for i, frame in enumerate(frames):
+        wire = frame.wire_bytes(dma_overhead)
+        rec.metrics.observe(bus_series, p_prev, float(wire))
+        rec.metrics.observe(pci_series, p_prev, float(wire))
+        ctx = getattr(frame.payload, "trace", None)
+        if ctx is not None:
+            rec.span(ctx, DMA, port.name, node, p_prev, plan.dma_done[i])
+            w_i = plan.slot_release[plan.seed_count + i]
+            rec.span(ctx, WIRE_HOP, link.name, link.name,
+                     w_i + tx_proc, plan.arrivals[i])
+        slot_index = plan.seed_count + i - fifo_cap
+        if (slot_index >= 0
+                and plan.slot_release[slot_index] > plan.dma_done[i]):
+            p_prev = plan.slot_release[slot_index]
+        else:
+            p_prev = plan.dma_done[i]

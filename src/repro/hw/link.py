@@ -20,6 +20,8 @@ from repro.errors import ConfigurationError
 from repro.hw.faults import CORRUPT, DROP, FaultInjector
 from repro.sim import Resource, Simulator
 from repro.sim.events import Callback
+from repro.obs.recorder import DROP as _DROP, \
+    WIRE_HOP as _WIRE_HOP
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.hw.nic import GigEPort
@@ -170,6 +172,8 @@ class Link:
         duration = self.serialization_time(frame)
         req = line.request()
         yield req
+        rec = self.sim.recorder
+        started = self.sim._now if rec is not None else 0.0
         try:
             yield self.sim.timeout(duration)
             self.stats["frames"][side] += 1
@@ -177,6 +181,15 @@ class Link:
             deliver = self._judge(side, frame)
         finally:
             line.release(req)
+        if rec is not None:
+            ctx = getattr(frame.payload, "trace", None)
+            if ctx is not None:
+                if deliver:
+                    rec.span(ctx, _WIRE_HOP, self.name, self.name,
+                             started, self.sim._now + self.propagation)
+                else:
+                    rec.event(ctx, _DROP, self.name, self.name,
+                              self.sim._now)
         if not deliver:
             return
         if self.sim._fast:
@@ -193,7 +206,8 @@ class Link:
         yield self.sim.timeout(self.propagation)
         peer.frame_arrived(frame)
 
-    def complete_tx(self, side: int, frame: Frame) -> None:
+    def complete_tx(self, side: int, frame: Frame,
+                    started: float = None) -> None:
         """Fast-path epilogue of :meth:`transmit`.
 
         The caller has already waited out the serialization time; this
@@ -207,7 +221,18 @@ class Link:
         self._lines[side].stats["grants"] += 1
         self.stats["frames"][side] += 1
         self.stats["bytes"][side] += frame.payload_bytes
-        if not self._judge(side, frame):
+        deliver = self._judge(side, frame)
+        rec = self.sim.recorder
+        if rec is not None:
+            ctx = getattr(frame.payload, "trace", None)
+            if ctx is not None:
+                if deliver and started is not None:
+                    rec.span(ctx, _WIRE_HOP, self.name, self.name,
+                             started, self.sim._now + self.propagation)
+                elif not deliver:
+                    rec.event(ctx, _DROP, self.name, self.name,
+                              self.sim._now)
+        if not deliver:
             return
         Callback(self.sim, lambda: peer.frame_arrived(frame),
                  delay=self.propagation)

@@ -32,6 +32,7 @@ from __future__ import annotations
 from typing import Callable, Generator, Optional
 
 from repro.errors import ConfigurationError
+from repro.obs.recorder import DMA as _DMA
 from repro.hw.fastpath import (
     HARMLESS, FrameTrain, TRAIN_MIN_FRAMES, TrainCallback, commit_train,
     plan_train,
@@ -174,7 +175,15 @@ class GigEPort:
         sim = self.sim
         fifo = self._tx_fifo
         wire = frame.wire_bytes(self.params.frame_overhead)
+        rec = sim.recorder
+        if rec is not None:
+            t0 = sim._now
         yield from self.host.dma(wire, self.pci_index)
+        if rec is not None:
+            ctx = getattr(frame.payload, "trace", None)
+            if ctx is not None:
+                rec.span(ctx, _DMA, self.name,
+                         f"n{self.host.node_id}", t0, sim._now)
         if frame.on_fetched is not None:
             frame.on_fetched()
         virt = self._virt
@@ -218,7 +227,7 @@ class GigEPort:
                 yield sim.sleep_until(done)
                 self.stats["tx_frames"] += 1
                 self.stats["tx_bytes"] += frame.payload_bytes
-                self.link.complete_tx(self.side, frame)
+                self.link.complete_tx(self.side, frame, started=start)
                 continue
             # Per-descriptor NIC processing is serial with the wire:
             # this is the ~0.9us that caps a saturated link at ~110 MB/s
@@ -268,7 +277,17 @@ class GigEPort:
             else:
                 yield credits.get()
             wire = frame.wire_bytes(params.frame_overhead)
+            rec = sim.recorder
+            if rec is not None:
+                t0 = sim._now
             yield from self.host.dma(wire, self.pci_index)
+            if rec is not None:
+                ctx = getattr(frame.payload, "trace", None)
+                if ctx is not None:
+                    rec.span(ctx, _DMA, self.name,
+                             f"n{self.host.node_id}", t0, sim._now)
+                    # handle_frame turns this into the irq-wait span.
+                    frame.rx_ready = sim._now
             self.stats["rx_frames"] += 1
             self.stats["rx_bytes"] += frame.payload_bytes
             self._pending_frames.append(frame)

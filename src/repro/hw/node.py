@@ -245,6 +245,10 @@ class Host:
         self.stats["dmas"] += 1
         self.stats["dma_bytes"] += nbytes
         self.pci_bytes[pci_index] += nbytes
+        rec = self.sim.recorder
+        if rec is not None:
+            rec.metrics.observe(f"pci{pci_index}:n{self.node_id}",
+                                self.sim._now, float(nbytes))
         if self.sim._fast and nbytes > 0 and self.membus.setup:
             yield self.membus.transfer_event(nbytes, rate_cap=PCIX_RATE)
         else:

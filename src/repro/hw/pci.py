@@ -101,6 +101,10 @@ class BandwidthBus:
             raise ConfigurationError(f"weight must be > 0, got {weight}")
         self.stats["transfers"] += 1
         self.stats["bytes"] += nbytes
+        rec = self.sim.recorder
+        if rec is not None:
+            rec.metrics.observe("bus:" + self.name, self.sim._now,
+                                float(nbytes))
         self._entered += 1
         try:
             if self.setup:
@@ -145,6 +149,10 @@ class BandwidthBus:
             raise ConfigurationError(f"weight must be > 0, got {weight}")
         self.stats["transfers"] += 1
         self.stats["bytes"] += nbytes
+        rec = self.sim.recorder
+        if rec is not None:
+            rec.metrics.observe("bus:" + self.name, self.sim._now,
+                                float(nbytes))
         self._entered += 1
         done = self.sim.event(
             name=f"{self.name}:xfer" if self.sim.trace is not None else ""

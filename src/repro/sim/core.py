@@ -52,6 +52,11 @@ class Simulator:
         self._sequence = 0
         self._active_process: Optional[Process] = None
         self.trace = trace
+        #: Optional message-lifecycle flight recorder
+        #: (:class:`repro.obs.recorder.FlightRecorder`).  ``None`` keeps
+        #: every instrumentation site to one attribute test and leaves
+        #: the hot scheduler loops untouched.
+        self.recorder = None
         self._crashed: list = []
         #: Events processed by this simulator.
         self.events_processed = 0

@@ -9,8 +9,9 @@ allocation-light so they can stay attached during benchmarks.
 from __future__ import annotations
 
 import math
+from collections import deque
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+from typing import Any, Deque, Dict, List, Optional
 
 
 @dataclass(frozen=True)
@@ -33,18 +34,25 @@ class Trace:
 
     def __init__(self, limit: Optional[int] = None) -> None:
         self.limit = limit
-        self.records: List[TraceRecord] = []
+        # deque(maxlen=...) trims in O(1) per append; a plain list needs
+        # an O(n) slice-delete once the buffer is full.
+        self.records: Deque[TraceRecord] = deque(maxlen=limit)
 
     def record(self, time: float, event: Any) -> None:
         self.records.append(
             TraceRecord(time, getattr(event, "name", ""), type(event).__name__)
         )
-        if self.limit is not None and len(self.records) > self.limit:
-            del self.records[: len(self.records) - self.limit]
 
     def filter(self, substring: str) -> List[TraceRecord]:
         """Records whose name contains ``substring``."""
         return [r for r in self.records if substring in r.name]
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        """Records as plain dicts (JSON/export friendly)."""
+        return [
+            {"time": r.time, "name": r.name, "kind": r.kind}
+            for r in self.records
+        ]
 
     def __len__(self) -> int:
         return len(self.records)
@@ -69,6 +77,29 @@ class SampleStats:
             self.minimum = value
         if value > self.maximum:
             self.maximum = value
+
+    def merge(self, other: "SampleStats") -> "SampleStats":
+        """Fold ``other`` into this accumulator (parallel Welford
+        combine, Chan et al.); returns ``self``."""
+        if other.count == 0:
+            return self
+        if self.count == 0:
+            self.count = other.count
+            self.mean = other.mean
+            self._m2 = other._m2
+            self.minimum = other.minimum
+            self.maximum = other.maximum
+            return self
+        total = self.count + other.count
+        delta = other.mean - self.mean
+        self._m2 += other._m2 + delta * delta * self.count * other.count / total
+        self.mean += delta * other.count / total
+        self.count = total
+        if other.minimum < self.minimum:
+            self.minimum = other.minimum
+        if other.maximum > self.maximum:
+            self.maximum = other.maximum
+        return self
 
     @property
     def variance(self) -> float:
@@ -223,3 +254,35 @@ class Probe:
 
     def mean(self, name: str) -> float:
         return self._stats[name].mean
+
+    def percentile(self, name: str, q: float) -> float:
+        """The ``q``-th percentile of the kept samples under ``name``
+        (linear interpolation between closest ranks).
+
+        Requires the samples to have been observed with ``keep=True``;
+        raises :class:`ValueError` otherwise or when ``q`` is outside
+        ``[0, 100]``.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        samples = self._samples.get(name)
+        if not samples:
+            raise ValueError(f"no kept samples under {name!r}")
+        ordered = sorted(samples)
+        position = (len(ordered) - 1) * (q / 100.0)
+        low = int(position)
+        high = min(low + 1, len(ordered) - 1)
+        fraction = position - low
+        return ordered[low] + (ordered[high] - ordered[low]) * fraction
+
+    def merge(self, other: "Probe") -> "Probe":
+        """Fold another probe's series into this one (mesh-wide
+        aggregation of per-node probes); returns ``self``."""
+        for name, stats in other._stats.items():
+            mine = self._stats.get(name)
+            if mine is None:
+                mine = self._stats[name] = SampleStats()
+            mine.merge(stats)
+        for name, samples in other._samples.items():
+            self._samples.setdefault(name, []).extend(samples)
+        return self

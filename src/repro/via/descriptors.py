@@ -52,6 +52,8 @@ class Descriptor:
     #: Transport error that failed this descriptor (status ERROR).
     error: Optional[Exception] = None
     desc_id: int = field(default_factory=lambda: next(_desc_ids))
+    #: Flight-recorder trace id (observability only).
+    trace: Any = None
 
     def __post_init__(self) -> None:
         if self.nbytes < 0:

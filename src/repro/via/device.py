@@ -26,6 +26,7 @@ from repro.via.descriptors import RmaWriteDescriptor, SendDescriptor
 from repro.via.kernel_agent import KernelAgent
 from repro.via.memory import MemoryRegion, ProtectionTag, RegisteredSpace
 from repro.via.packet import PacketKind, ViaPacket
+from repro.obs.recorder import DESC_QUEUED as _DESC_QUEUED
 from repro.via.vi import VI, Reliability
 
 
@@ -233,6 +234,10 @@ class ViaDevice:
                 route=route[1:] if route else None,
                 payload=descriptor.payload if last else None,
             ))
+        rec = self.sim.recorder
+        if rec is not None and descriptor.trace is not None:
+            for packet in packets:
+                packet.trace = descriptor.trace
         if self._use_reliable(vi):
             yield from self.agent.reliable_transmit(
                 vi, packets, "via-data", route, descriptor,
@@ -253,6 +258,13 @@ class ViaDevice:
                     if last else None
                 ),
             ))
+        if rec is not None and descriptor.trace is not None:
+            rec.event(descriptor.trace, _DESC_QUEUED, port.name,
+                      f"n{self.rank}", self.sim.now)
+            rec.metrics.observe(
+                "ring:" + port.name, self.sim.now,
+                float(len(port.tx_queue) + port._tx_extra),
+            )
         yield from port.send_frames(frames)
 
     def transmit_rma(self, vi: VI, descriptor: RmaWriteDescriptor):
@@ -282,6 +294,10 @@ class ViaDevice:
                 route=route[1:] if route else None,
                 payload=descriptor.payload if last else None,
             ))
+        rec = self.sim.recorder
+        if rec is not None and descriptor.trace is not None:
+            for packet in packets:
+                packet.trace = descriptor.trace
         if self._use_reliable(vi):
             yield from self.agent.reliable_transmit(
                 vi, packets, "via-rma", route, descriptor,
@@ -302,6 +318,13 @@ class ViaDevice:
                     if last else None
                 ),
             ))
+        if rec is not None and descriptor.trace is not None:
+            rec.event(descriptor.trace, _DESC_QUEUED, port.name,
+                      f"n{self.rank}", self.sim.now)
+            rec.metrics.observe(
+                "ring:" + port.name, self.sim.now,
+                float(len(port.tx_queue) + port._tx_extra),
+            )
         yield from port.send_frames(frames)
 
     def transmit_control(self, dst_node: int, kind: PacketKind,

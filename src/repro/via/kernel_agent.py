@@ -18,6 +18,8 @@ from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 from repro.errors import ViaDescriptorError, ViaError, TruncationError
 from repro.hw.link import Frame
 from repro.hw.nic import GigEPort
+from repro.obs.recorder import IRQ_WAIT as _IRQ_WAIT, \
+    SWITCH_FORWARD as _SWITCH_FORWARD
 from repro.sim import Store
 from repro.via.descriptors import RecvDescriptor
 from repro.via.packet import PacketKind, ViaPacket
@@ -234,6 +236,18 @@ class KernelAgent:
         """
         self.stats["frames"] += 1
         packet: ViaPacket = frame.payload
+        rec = self.sim.recorder
+        if rec is not None:
+            ctx = packet.trace
+            ready = getattr(frame, "rx_ready", None)
+            if ctx is not None and ready is not None:
+                # Coalescing + dispatch delay: rx DMA done to the
+                # instant the handler's cost accrual starts (paid_until
+                # is that instant when the dispatcher folded it).
+                base = paid_until if paid_until is not None \
+                    else self.sim._now
+                rec.span(ctx, _IRQ_WAIT, port.name,
+                         f"n{self.device.rank}", ready, base)
         try:
             if self.device.params.verify_checksums and (
                     frame.corrupted or not packet.verify()):
@@ -386,6 +400,8 @@ class KernelAgent:
             descriptor.received_bytes = packet.msg_bytes
             descriptor.received_payload = packet.payload
             descriptor.received_immediate = packet.immediate
+            if self.sim.recorder is not None:
+                descriptor.trace = packet.trace
             vi._reassembly = None
             vi.complete_recv(descriptor)
 
@@ -473,6 +489,8 @@ class KernelAgent:
                 descriptor.received_bytes = packet.msg_bytes
                 descriptor.received_payload = packet.payload
                 descriptor.received_immediate = packet.immediate
+                if self.sim.recorder is not None:
+                    descriptor.trace = packet.trace
                 vi.complete_recv(descriptor)
 
     def _handle_connect(self, packet: ViaPacket):
@@ -549,6 +567,9 @@ class KernelAgent:
         """Store-and-forward one transit frame at interrupt level."""
         self.stats["forwarded"] += 1
         device = self.device
+        rec = self.sim.recorder
+        if rec is not None:
+            t0 = paid_until if paid_until is not None else self.sim._now
         if paid_until is not None:
             # Folds the dispatcher's per-frame cost: same instant as
             # sleeping to paid_until and then the forward timeout.
@@ -557,6 +578,9 @@ class KernelAgent:
             )
         else:
             yield self.sim.timeout(device.params.switch_forward_cost)
+        if rec is not None and packet.trace is not None:
+            rec.span(packet.trace, _SWITCH_FORWARD, f"n{device.rank}",
+                     f"n{device.rank}", t0, self.sim._now)
         if packet.route:
             # Source-routed (OPT scatter): take the named hop, then
             # consume it for downstream switches.

@@ -79,6 +79,10 @@ class ViaPacket:
     ack: int = -1
     payload: Any = field(default=None, repr=False)
     checksum: Optional[int] = None
+    #: Flight-recorder trace id of the message this fragment belongs
+    #: to (observability only; not a wire header field, so it is
+    #: excluded from the checksum and never affects simulation state).
+    trace: Any = field(default=None, repr=False, compare=False)
 
     @classmethod
     def next_msg_id(cls) -> int:

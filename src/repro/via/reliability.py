@@ -34,6 +34,9 @@ from typing import Optional, TYPE_CHECKING
 
 from repro.errors import ViaError
 from repro.hw.link import Frame
+from repro.obs.recorder import ACK as _ACK, \
+    DESC_QUEUED as _DESC_QUEUED, RETRANSMIT as _RETRANSMIT, \
+    TIMEOUT as _TIMEOUT
 from repro.sim.events import Callback
 from repro.via.packet import PacketKind, ViaPacket
 
@@ -121,6 +124,17 @@ class ReliableChannel:
         entry = _SendEntry(packet.seq, packet, frame_kind, route,
                            descriptor)
         self.unacked.append(entry)
+        rec = self.sim.recorder
+        if rec is not None:
+            rank = self.agent.device.rank
+            if packet.trace is not None:
+                rec.event(packet.trace, _DESC_QUEUED,
+                          f"vi{self.vi.vi_id} seq{packet.seq}",
+                          f"n{rank}", self.sim.now)
+            rec.metrics.observe(
+                f"window:n{rank}-vi{self.vi.vi_id}", self.sim.now,
+                float(len(self.unacked)),
+            )
         yield from self._send_entry(entry, route)
         self._ensure_timer()
 
@@ -182,6 +196,13 @@ class ReliableChannel:
                 self.stats["max_retry_streak"] = self.retries
             self.stats["timeouts"] += 1
             agent.stats["timeouts"] += 1
+            rec = self.sim.recorder
+            if rec is not None and self.unacked:
+                head = self.unacked[0].packet
+                if head.trace is not None:
+                    rec.event(head.trace, _TIMEOUT,
+                              f"vi{self.vi.vi_id} rto{self.retries}",
+                              f"n{agent.device.rank}", self.sim.now)
             if self.retries > params.rel_max_retries:
                 self._fail()
                 break
@@ -193,6 +214,12 @@ class ReliableChannel:
             batch = list(self.unacked)
             self.stats["retransmits"] += len(batch)
             agent.stats["retransmits"] += len(batch)
+            if rec is not None:
+                for entry in batch:
+                    if entry.packet.trace is not None:
+                        rec.event(entry.packet.trace, _RETRANSMIT,
+                                  f"vi{self.vi.vi_id} seq{entry.seq}",
+                                  f"n{agent.device.rank}", self.sim.now)
             dead_fabric = agent.device.fabric_degraded()
             for entry in batch:
                 # Under a degraded fabric the original source route may
@@ -254,9 +281,14 @@ class ReliableChannel:
         """Cumulative ACK: retire entries, complete descriptors."""
         progressed = False
         vi = self.vi
+        rec = self.sim.recorder
         while self.unacked and self.unacked[0].seq <= ack:
             entry = self.unacked.popleft()
             progressed = True
+            if rec is not None and entry.packet.trace is not None:
+                rec.event(entry.packet.trace, _ACK,
+                          f"vi{vi.vi_id} seq{entry.seq}",
+                          f"n{self.agent.device.rank}", self.sim.now)
             if entry.descriptor is not None:
                 vi.complete_send(entry.descriptor)
         if progressed:

@@ -27,6 +27,8 @@ from repro.errors import (
     ViaNotConnectedError,
 )
 from repro.hw.node import PRIO_USER
+from repro.obs.recorder import API_CALL as _API_CALL, \
+    COMPLETION as _COMPLETION
 from repro.sim import Store
 from repro.via.completion import CompletionQueue, RECV_QUEUE, SEND_QUEUE
 from repro.via.descriptors import (
@@ -129,9 +131,21 @@ class VI:
             raise ViaDescriptorError("descriptor/VI protection tag mismatch")
         self.stats["sends"] += 1
         self.stats["send_bytes"] += descriptor.nbytes
+        rec = self.device.sim.recorder
+        if rec is not None:
+            if descriptor.trace is None:
+                # Raw VIA entry point: this is where the message is born.
+                descriptor.trace = rec.start_trace(
+                    f"via-send vi{self.vi_id} {descriptor.nbytes}B",
+                    f"n{self.device.rank}", self.device.sim.now,
+                )
+            t0 = self.device.sim.now
         yield from self.device.host.cpu_work(
             self.device.params.send_overhead, PRIO_USER
         )
+        if rec is not None:
+            rec.span(descriptor.trace, _API_CALL, "post_send",
+                     f"n{self.device.rank}", t0, self.device.sim.now)
         yield from self.device.transmit_send(self, descriptor)
 
     def post_rma_write(self, descriptor: RmaWriteDescriptor):
@@ -144,9 +158,20 @@ class VI:
             )
         self.stats["rma_writes"] += 1
         self.stats["send_bytes"] += descriptor.nbytes
+        rec = self.device.sim.recorder
+        if rec is not None:
+            if descriptor.trace is None:
+                descriptor.trace = rec.start_trace(
+                    f"via-rma vi{self.vi_id} {descriptor.nbytes}B",
+                    f"n{self.device.rank}", self.device.sim.now,
+                )
+            t0 = self.device.sim.now
         yield from self.device.host.cpu_work(
             self.device.params.send_overhead, PRIO_USER
         )
+        if rec is not None:
+            rec.span(descriptor.trace, _API_CALL, "post_rma_write",
+                     f"n{self.device.rank}", t0, self.device.sim.now)
         yield from self.device.transmit_rma(self, descriptor)
 
     # -- completion consumption ---------------------------------------------
@@ -166,9 +191,15 @@ class VI:
                 f"VI {self.vi_id} recv completions go to its CQ"
             )
         descriptor = yield self._recv_done.get()
+        rec = self.device.sim.recorder
+        if rec is not None:
+            t0 = self.device.sim.now
         yield from self.device.host.cpu_work(
             self.device.params.recv_overhead, PRIO_USER
         )
+        if rec is not None and descriptor.trace is not None:
+            rec.span(descriptor.trace, _API_CALL, "recv_wait",
+                     f"n{self.device.rank}", t0, self.device.sim.now)
         return descriptor
 
     def recv_poll(self) -> Optional[RecvDescriptor]:
@@ -185,8 +216,15 @@ class VI:
         )
 
     # -- device-side completion delivery -------------------------------------
+    def _record_completion(self, descriptor, name: str) -> None:
+        rec = self.device.sim.recorder
+        if rec is not None and descriptor.trace is not None:
+            rec.event(descriptor.trace, _COMPLETION, name,
+                      f"n{self.device.rank}", self.device.sim.now)
+
     def complete_send(self, descriptor: Descriptor) -> None:
         self.device.sim.progress += 1
+        self._record_completion(descriptor, "send-complete")
         descriptor.mark_done(self.device.sim.now)
         if descriptor.on_complete is not None:
             descriptor.on_complete(descriptor)
@@ -202,6 +240,7 @@ class VI:
         pushed to the normal completion surface, mirroring how VIA
         reports transport errors through the completion path."""
         self.device.sim.progress += 1
+        self._record_completion(descriptor, "send-error")
         descriptor.error = self.error
         descriptor.mark_error(self.device.sim.now)
         if descriptor.on_complete is not None:
@@ -221,6 +260,7 @@ class VI:
         the peer node dies.
         """
         self.device.sim.progress += 1
+        self._record_completion(descriptor, "recv-error")
         descriptor.error = self.error
         descriptor.mark_error(self.device.sim.now)
         if descriptor.on_complete is not None:
@@ -233,6 +273,7 @@ class VI:
 
     def complete_recv(self, descriptor: RecvDescriptor) -> None:
         self.device.sim.progress += 1
+        self._record_completion(descriptor, "recv-complete")
         self.stats["recvs"] += 1
         self.stats["recv_bytes"] += descriptor.received_bytes
         descriptor.mark_done(self.device.sim.now)
