@@ -44,6 +44,29 @@ def traced_collective(dims: Tuple[int, ...] = (2, 2, 2),
     return recorder
 
 
+def trace_stats(quick: bool = False) -> dict:
+    """Pure form of the ``--trace`` workload: run the traced collective
+    and return its summary as a plain result object (no file, no
+    stdout) — the code path service workers share with the CLI.
+
+    ``span_key_hash`` is the content hash of the recorder's sorted
+    span identities, so two runs of the same configuration can be
+    compared for bit-identical observability output by string
+    equality alone.
+    """
+    from repro.canonical import content_hash
+
+    recorder = traced_collective(nbytes=1024 if quick else 4096)
+    span_keys = [list(key) for key in recorder.span_keys()]
+    return {
+        "messages": len(recorder.traces),
+        "spans": len(recorder.spans),
+        "events": len(recorder.events),
+        "kinds": sorted(recorder.kinds()),
+        "span_key_hash": content_hash(span_keys),
+    }
+
+
 def export_trace(path: str, quick: bool = False) -> str:
     """Run the traced collective and write ``path``; returns a one-line
     summary (raises ``RuntimeError`` if the JSON fails validation)."""
@@ -83,5 +106,6 @@ __all__ = [
     "api_overhead_per_message",
     "breakdown_report",
     "export_trace",
+    "trace_stats",
     "traced_collective",
 ]

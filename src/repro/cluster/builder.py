@@ -230,10 +230,45 @@ class MeshCluster:
             )
         return self.sim.recorder
 
+    def config_hash(self) -> str:
+        """Stable content hash of this cluster's full configuration.
+
+        Covers topology (dims + wrap), host/GigE params (including any
+        per-link fault schedule), the resolved ambient fault params and
+        node-fault specs, plus the code version — the same identity the
+        service layer's result cache is keyed on, so the hash printed
+        by a hang report names a re-runnable configuration.
+        """
+        from repro import __version__
+        from repro.canonical import content_hash
+
+        return content_hash({
+            "dims": list(self.torus.dims),
+            "wrap": self.torus.wrap,
+            "host": self.host_params,
+            "gige": self.gige_params,
+            "faults": self.fault_params,
+            "node_faults": list(self.node_faults),
+            "version": __version__,
+        })
+
+    @property
+    def fault_seed(self) -> Optional[int]:
+        """The deterministic fault-stream seed, when faults are wired."""
+        if self.fault_params is not None:
+            return self.fault_params.seed
+        if self.node_faults:
+            # Node-fault-only runs still derive link schedules from the
+            # default stream seed.
+            return 0
+        return None
+
     def hang_report(self) -> str:
         """Diagnostic naming stuck VIs/requests/ranks (watchdog food)."""
         recorder = getattr(self.sim, "recorder", None)
         lines = [
+            f"run identity: config_hash={self.config_hash()[:16]} "
+            f"fault_seed={self.fault_seed}",
             f"alive-set: {self.alive_ranks()} of {self.size}",
         ]
         for rank, when, by, reason in self.death_log:

@@ -31,7 +31,19 @@ class HangError(SimulationError):
     descriptor, request, or collective has completed within the hang
     window — the distributed-hang analogue of :class:`DeadlockError`,
     which can never fire while periodic timers keep the queue nonempty.
+
+    ``config_hash`` and ``fault_seed`` identify the exact run (canonical
+    configuration digest + deterministic fault-stream seed) so a hung
+    run is reproducible from the error alone; both also appear in the
+    message text via the cluster's ``hang_report``.
     """
+
+    def __init__(self, message: str,
+                 config_hash: Optional[str] = None,
+                 fault_seed: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.config_hash = config_hash
+        self.fault_seed = fault_seed
 
 
 class InterruptError(SimulationError):

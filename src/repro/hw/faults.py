@@ -46,11 +46,12 @@ from dataclasses import dataclass
 from random import Random
 from typing import Optional, Tuple
 
+from repro.canonical import Canonical
 from repro.errors import ConfigurationError
 
 
 @dataclass(frozen=True)
-class FaultParams:
+class FaultParams(Canonical):
     """Declarative fault schedule for one link (or, ambiently, all).
 
     All times are simulated microseconds; all knobs default to
@@ -129,7 +130,7 @@ class FaultParams:
 
 
 @dataclass(frozen=True)
-class NodeFaultSpec:
+class NodeFaultSpec(Canonical):
     """Seeded node-scoped fault schedule (crash, NIC stall/reboot).
 
     Node faults compose *on top of* the per-link schedules: the

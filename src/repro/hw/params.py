@@ -25,11 +25,12 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro import units
+from repro.canonical import Canonical
 from repro.hw.faults import FaultParams
 
 
 @dataclass(frozen=True)
-class HostParams:
+class HostParams(Canonical):
     """Per-node host (CPU + memory system) parameters."""
 
     #: CPU clock, for reference only (GHz). Cluster A: 2.67, B: 3.0.
@@ -61,7 +62,7 @@ class HostParams:
 
 
 @dataclass(frozen=True)
-class GigEParams:
+class GigEParams(Canonical):
     """Intel Pro/1000MT-class copper GigE port on PCI-X."""
 
     #: Wire signalling rate (bytes/us). 1 Gb/s = 125 MB/s.
@@ -106,7 +107,7 @@ class GigEParams:
 
 
 @dataclass(frozen=True)
-class ViaParams:
+class ViaParams(Canonical):
     """Modified M-VIA protocol costs (user-level library + kernel agent)."""
 
     #: VIA header bytes inside the Ethernet payload.
@@ -166,7 +167,7 @@ class ViaParams:
 
 
 @dataclass(frozen=True)
-class TcpParams:
+class TcpParams(Canonical):
     """Linux 2.4-era kernel TCP/IP stack costs over the same GigE port."""
 
     #: TCP/IP header bytes per segment (IP 20 + TCP 20 + options 12).
@@ -200,7 +201,7 @@ class TcpParams:
 
 
 @dataclass(frozen=True)
-class MyrinetParams:
+class MyrinetParams(Canonical):
     """Myrinet LaNai9 + Myrinet 2000 switch comparator (section 3, 6).
 
     Published GM-over-LaNai9 numbers of the period: ~7-9 us one-way

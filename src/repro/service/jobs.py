@@ -1,0 +1,178 @@
+"""Pure job execution: one importable function per workload family.
+
+:func:`execute` is the single code path shared by service workers, the
+service CLI, and the chaos harness's unperturbed reference runs.  It
+returns plain JSON-able result payloads and never touches stdout or
+the filesystem; determinism of the engine means ``execute(spec)`` is a
+pure function of the spec (plus code version), which is exactly what
+makes the result cache sound.
+
+Workload families (``JobSpec.kind``):
+
+``figure``
+    One registered bench experiment (``fig2`` ... ``table1``,
+    ablations); ``args: {"quick": bool}``.
+``point``
+    One microbenchmark point: ``name`` is the op (see
+    :data:`POINT_OPS`), args are its scalar knobs (``nbytes``,
+    ``repeats``, ``hops``), optional ``loss`` (per-frame loss rate,
+    fault streams seeded by ``seed``).
+``chaos``
+    A seeded engine-level chaos campaign batch:
+    ``args: {"campaigns": int}``, fault seed from ``seed``.
+``trace``
+    The traced fig5-style collective; returns span/event counts and
+    the content hash of the span identity set.
+``breakdown``
+    The per-span-kind latency breakdown report of the fig2 point
+    workload.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Tuple
+
+from repro.service.protocol import JobSpec, ProtocolError
+
+#: Point ops: name -> (callable factory, unit, allowed scalar args).
+POINT_OPS: Dict[str, Tuple[str, str, Tuple[str, ...]]] = {
+    "via_latency": ("via_latency", "us", ("nbytes", "repeats", "hops")),
+    "tcp_latency": ("tcp_latency", "us", ("nbytes", "repeats")),
+    "mpi_latency": ("mpi_latency", "us", ("nbytes", "repeats")),
+    "via_pingpong_bandwidth": (
+        "via_pingpong_bandwidth", "MB/s", ("nbytes", "repeats")),
+    "tcp_pingpong_bandwidth": (
+        "tcp_pingpong_bandwidth", "MB/s", ("nbytes", "repeats")),
+    "via_simultaneous_bandwidth": (
+        "via_simultaneous_bandwidth", "MB/s", ("nbytes",)),
+    "tcp_simultaneous_bandwidth": (
+        "tcp_simultaneous_bandwidth", "MB/s", ("nbytes",)),
+}
+
+
+def _result_payload(result) -> Dict[str, Any]:
+    """An :class:`~repro.bench.harness.ExperimentResult` as plain JSON."""
+    from repro.canonical import to_canonical
+
+    return {
+        "experiment": result.experiment,
+        "title": result.title,
+        "columns": list(result.columns),
+        "rows": to_canonical(result.rows),
+        "notes": list(result.notes),
+    }
+
+
+def _run_figure(spec: JobSpec) -> Dict[str, Any]:
+    from repro.bench.harness import EXPERIMENTS, run_experiment
+
+    if spec.name not in EXPERIMENTS:
+        raise ProtocolError(
+            f"unknown figure {spec.name!r}; choose from {EXPERIMENTS}"
+        )
+    result = run_experiment(spec.name, quick=bool(spec.arg("quick", True)))
+    payload = _result_payload(result)
+    payload["kind"] = "figure"
+    return payload
+
+
+def _run_point(spec: JobSpec) -> Dict[str, Any]:
+    from repro.bench import microbench as mb
+
+    op = POINT_OPS.get(spec.name)
+    if op is None:
+        raise ProtocolError(
+            f"unknown point op {spec.name!r}; choose from "
+            f"{tuple(sorted(POINT_OPS))}"
+        )
+    func_name, unit, allowed = op
+    func: Callable = getattr(mb, func_name)
+    kwargs = {}
+    for key in allowed:
+        value = spec.arg(key)
+        if value is not None:
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise ProtocolError(
+                    f"point arg {key!r} must be an integer, got {value!r}"
+                )
+            kwargs[key] = value
+    loss = spec.arg("loss", 0.0)
+    if loss:
+        from repro.hw import faults
+
+        faults.clear_registry()
+        faults.set_ambient(faults.FaultParams(seed=spec.seed,
+                                              loss_rate=float(loss)))
+        try:
+            value = func(**kwargs)
+        finally:
+            faults.set_ambient(None)
+            faults.clear_registry()
+    else:
+        value = func(**kwargs)
+    return {"kind": "point", "op": spec.name, "unit": unit,
+            "args": dict(spec.args), "value": float(value)}
+
+
+def _run_chaos(spec: JobSpec) -> Dict[str, Any]:
+    from repro.bench.chaos import run_chaos
+    from repro.hw import faults
+
+    campaigns = spec.arg("campaigns", 1)
+    if not isinstance(campaigns, int) or isinstance(campaigns, bool) \
+            or campaigns < 1:
+        raise ProtocolError(
+            f"chaos campaigns must be a positive integer, got "
+            f"{campaigns!r}"
+        )
+    faults.clear_registry()
+    try:
+        result = run_chaos(campaigns, fault_seed=spec.seed)
+    finally:
+        faults.clear_registry()
+    payload = _result_payload(result)
+    payload["kind"] = "chaos"
+    payload["fault_seed"] = spec.seed
+    return payload
+
+
+def _run_trace(spec: JobSpec) -> Dict[str, Any]:
+    from repro.bench.observability import trace_stats
+
+    payload = trace_stats(quick=bool(spec.arg("quick", True)))
+    payload["kind"] = "trace"
+    return payload
+
+
+def _run_breakdown(spec: JobSpec) -> Dict[str, Any]:
+    from repro.bench.observability import breakdown_report
+
+    return {"kind": "breakdown",
+            "report": breakdown_report(quick=bool(spec.arg("quick", True)))}
+
+
+_RUNNERS = {
+    "figure": _run_figure,
+    "point": _run_point,
+    "chaos": _run_chaos,
+    "trace": _run_trace,
+    "breakdown": _run_breakdown,
+}
+
+
+def execute(spec: JobSpec) -> Dict[str, Any]:
+    """Run one job to completion; returns its JSON-able payload.
+
+    Deterministic: equal specs produce bit-identical payloads (the
+    cache and the chaos harness both rely on this).  Raises
+    :class:`ProtocolError` for specs that can never succeed and lets
+    engine errors (:class:`~repro.errors.ReproError`) propagate — the
+    worker reports both as structured, non-retriable job failures.
+    """
+    runner = _RUNNERS.get(spec.kind)
+    if runner is None:
+        raise ProtocolError(f"unknown job kind {spec.kind!r}")
+    return runner(spec)
+
+
+__all__ = ["POINT_OPS", "execute"]

@@ -1,0 +1,268 @@
+"""Request router: admission control, coalescing, deadlines, retries.
+
+The router sits between the transport (socket server or in-process
+client) and the fleet.  For each submit request it:
+
+1. validates the job spec (malformed specs get a structured,
+   non-retriable ``ProtocolError`` response);
+2. consults the content-addressed cache — a hit returns the frozen
+   result without touching the fleet;
+3. coalesces with an identical in-flight request (single-flight: one
+   engine run serves every concurrent requester of the same key);
+4. applies admission control — if the accepted-pending set is full the
+   request is shed *before* acceptance with a retriable ``overloaded``
+   response (bounded queue, no unbounded buffering);
+5. runs the job with a per-attempt wall-clock deadline, retrying on a
+   fresh worker with exponential backoff when the worker crashes,
+   hangs, or blows the deadline — up to ``max_attempts``, then a
+   structured retriable error.  Deterministic job failures are never
+   retried.
+
+Every accepted request therefore terminates: attempts are bounded,
+each attempt is bounded by its deadline (enforced by killing the
+worker), and backoffs are finite.  Per-request lifecycle spans and
+fleet metrics go to a wall-clock :class:`~repro.obs.FlightRecorder`,
+reusing the simulator's observability layer one level up.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional
+
+from repro.obs import FlightRecorder
+from repro.service.cache import ResultCache
+from repro.service.fleet import Fleet, FleetStopped
+from repro.service.protocol import (
+    DeadlineExceeded,
+    JobFailed,
+    JobSpec,
+    ProtocolError,
+    WorkerCrashed,
+    error_response,
+    ok_response,
+    overloaded_response,
+)
+
+
+@dataclass(frozen=True)
+class RouterConfig:
+    """Robustness knobs (see the failure matrix in docs/SERVICE.md)."""
+
+    #: Accepted-but-unfinished requests admitted before load shedding.
+    max_pending: int = 64
+    #: Attempt budget per accepted request (first try + retries).
+    max_attempts: int = 3
+    #: Exponential backoff: ``base * factor**(attempt-1)`` seconds.
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    #: Default per-attempt wall-clock deadline (requests may lower it
+    #: with a ``deadline_s`` field; it is clamped to this ceiling).
+    deadline_s: float = 120.0
+    #: Hint returned with overloaded responses.
+    retry_after_s: float = 0.05
+    #: Graceful-drain budget before shutdown gives up waiting.
+    drain_timeout_s: float = 60.0
+
+
+class Router:
+    """Dispatches validated requests to the fleet through the cache."""
+
+    def __init__(self, fleet: Fleet, cache: Optional[ResultCache] = None,
+                 config: Optional[RouterConfig] = None) -> None:
+        self.fleet = fleet
+        self.cache = cache if cache is not None else ResultCache()
+        self.config = config or RouterConfig()
+        #: Wall-clock observability: per-request spans + fleet metrics
+        #: timeline (0.25 s buckets; times are seconds since router
+        #: creation on the "service" track).
+        self.recorder = FlightRecorder(metrics_interval=0.25)
+        self.counters: Dict[str, int] = {
+            "requests": 0, "accepted": 0, "completed": 0,
+            "cache_hits": 0, "coalesced": 0, "shed": 0,
+            "bad_requests": 0, "job_failures": 0, "retries": 0,
+            "retriable_errors": 0, "drained_rejects": 0,
+        }
+        self._pending = 0
+        self._inflight: Dict[str, asyncio.Future] = {}
+        self._draining = False
+        self._drained = asyncio.Event()
+        self._drained.set()
+        self._t0 = time.monotonic()
+
+    # -- observability helpers ---------------------------------------------
+    def _now(self) -> float:
+        return time.monotonic() - self._t0
+
+    def _observe_load(self) -> None:
+        t = self._now()
+        self.recorder.metrics.observe("queue_depth", t, self._pending)
+        self.recorder.metrics.observe("busy_workers", t,
+                                      len(self.fleet.busy_workers()))
+
+    # -- the submit path ----------------------------------------------------
+    async def submit(self, request: Mapping[str, Any]) -> Dict[str, Any]:
+        """Handle one submit request end to end; always returns a
+        response dict, never raises, never hangs."""
+        self.counters["requests"] += 1
+        rid = request.get("id")
+        started = time.monotonic()
+        try:
+            spec = JobSpec.from_wire(request.get("job"))
+        except ProtocolError as exc:
+            self.counters["bad_requests"] += 1
+            return error_response(rid, "ProtocolError", str(exc),
+                                  retriable=False)
+        key = spec.cache_key()
+        trace = self.recorder.start_trace(spec.label(), "service",
+                                          self._now())
+
+        cached = self.cache.get(key)
+        if cached is not None:
+            self.counters["cache_hits"] += 1
+            self.recorder.event(trace, "cache-hit", spec.label(),
+                                "service", self._now())
+            return ok_response(rid, key, cached, "hit", attempts=0,
+                               elapsed_s=time.monotonic() - started)
+
+        leader = self._inflight.get(key)
+        if leader is not None:
+            self.counters["coalesced"] += 1
+            self.recorder.event(trace, "coalesced", spec.label(),
+                                "service", self._now())
+            response = dict(await leader)
+            response["id"] = rid
+            if response["status"] == "ok":
+                response["cache"] = "coalesced"
+            response["elapsed_s"] = round(time.monotonic() - started, 6)
+            return response
+
+        if self._draining:
+            self.counters["drained_rejects"] += 1
+            return error_response(rid, "ShuttingDown",
+                                  "service is draining; resubmit later",
+                                  retriable=True)
+        if self._pending >= self.config.max_pending:
+            self.counters["shed"] += 1
+            self.recorder.event(trace, "shed", spec.label(), "service",
+                                self._now())
+            return overloaded_response(rid, self.config.retry_after_s)
+
+        # Accepted: from here the request MUST terminate with a
+        # response, and the single-flight future MUST resolve so
+        # coalesced waiters can never hang.
+        self.counters["accepted"] += 1
+        self._pending += 1
+        self._drained.clear()
+        self._observe_load()
+        future = asyncio.get_running_loop().create_future()
+        self._inflight[key] = future
+        try:
+            response = await self._execute(rid, spec, key, trace, started,
+                                           request.get("deadline_s"))
+        except Exception as exc:  # belt and braces: never leak a raise
+            response = error_response(rid, type(exc).__name__, str(exc),
+                                      retriable=True)
+        finally:
+            del self._inflight[key]
+            future.set_result(response)
+            self._pending -= 1
+            if self._pending == 0:
+                self._drained.set()
+            self._observe_load()
+        self.recorder.span(trace, "request", spec.label(), "service",
+                           started - self._t0, self._now())
+        return response
+
+    async def _execute(self, rid: Any, spec: JobSpec, key: str,
+                       trace: int, started: float,
+                       requested_deadline: Any = None) -> Dict[str, Any]:
+        # The deadline is a *request* field, not part of the job spec,
+        # so it can never perturb the cache key.
+        deadline = self.config.deadline_s
+        if isinstance(requested_deadline, (int, float)) \
+                and not isinstance(requested_deadline, bool) \
+                and requested_deadline > 0:
+            deadline = min(float(requested_deadline), deadline)
+        last_error: Optional[Exception] = None
+        for attempt in range(1, self.config.max_attempts + 1):
+            attempt_start = self._now()
+            try:
+                payload = await self.fleet.run_job(spec, timeout=deadline)
+            except JobFailed as exc:
+                # Deterministic failure: retrying re-runs the same
+                # engine on the same config — surface it immediately.
+                self.counters["job_failures"] += 1
+                self.recorder.span(trace, "attempt-failed", spec.label(),
+                                   "service", attempt_start, self._now())
+                return error_response(rid, exc.error_type, exc.detail,
+                                      retriable=False, attempts=attempt,
+                                      key=key)
+            except (WorkerCrashed, DeadlineExceeded, FleetStopped) as exc:
+                last_error = exc
+                self.recorder.span(trace, "attempt-lost", spec.label(),
+                                   "service", attempt_start, self._now())
+                if attempt >= self.config.max_attempts or isinstance(
+                        exc, FleetStopped):
+                    break
+                self.counters["retries"] += 1
+                backoff = (self.config.backoff_base_s *
+                           self.config.backoff_factor ** (attempt - 1))
+                self.recorder.event(trace, "retry", spec.label(),
+                                    "service", self._now())
+                await asyncio.sleep(backoff)
+            else:
+                self.cache.put(key, payload)
+                self.counters["completed"] += 1
+                self.recorder.span(trace, "attempt-ok", spec.label(),
+                                   "service", attempt_start, self._now())
+                return ok_response(rid, key, payload, "miss",
+                                   attempts=attempt,
+                                   elapsed_s=time.monotonic() - started)
+        self.counters["retriable_errors"] += 1
+        return error_response(
+            rid, type(last_error).__name__,
+            f"{spec.label()}: retry budget exhausted after "
+            f"{self.config.max_attempts} attempts ({last_error})",
+            retriable=True, attempts=self.config.max_attempts, key=key,
+        )
+
+    # -- drain / status ------------------------------------------------------
+    async def drain(self) -> bool:
+        """Stop admitting, wait for in-flight requests to finish.
+
+        Returns True when the pending set emptied within the drain
+        budget (False means shutdown proceeded with work abandoned).
+        """
+        self._draining = True
+        try:
+            await asyncio.wait_for(self._drained.wait(),
+                                   self.config.drain_timeout_s)
+            return True
+        except asyncio.TimeoutError:
+            return False
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    @property
+    def pending(self) -> int:
+        return self._pending
+
+    def status(self) -> Dict[str, Any]:
+        return {
+            "status": "ok",
+            "pending": self._pending,
+            "draining": self._draining,
+            "counters": dict(self.counters),
+            "cache": self.cache.snapshot(),
+            "fleet": self.fleet.status(),
+            "uptime_s": round(self._now(), 3),
+            "metrics_series": self.recorder.metrics.names(),
+        }
+
+
+__all__ = ["Router", "RouterConfig"]

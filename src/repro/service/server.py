@@ -1,0 +1,176 @@
+"""Asyncio front-end: JSON-lines over a local TCP socket.
+
+One connection may pipeline any number of requests; responses carry
+the request ``id`` and may arrive out of order (submits run
+concurrently).  Ops: ``submit`` (the workhorse), ``ping``, ``status``
+(fleet/cache/router snapshot), ``shutdown`` (graceful drain: stop
+accepting, finish in-flight work, stop the fleet).
+
+:class:`ServiceClient` is the matching line-protocol client;
+tests and the load harness can also bypass sockets entirely and call
+``Router.submit`` directly (the in-process transport).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, Optional, Tuple
+
+from repro.service.router import Router
+
+
+class ServiceServer:
+    """Serves a :class:`Router` over a local TCP JSON-lines socket."""
+
+    def __init__(self, router: Router, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.router = router
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._shutdown_started = asyncio.Event()
+        self._stopped = asyncio.Event()
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start serving; returns the bound (host, port)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port)
+        self.host, self.port = self._server.sockets[0].getsockname()[:2]
+        return self.host, self.port
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        write_lock = asyncio.Lock()
+        tasks = set()
+
+        async def respond(response: Dict[str, Any]) -> None:
+            data = json.dumps(response, sort_keys=True) + "\n"
+            async with write_lock:
+                try:
+                    writer.write(data.encode())
+                    await writer.drain()
+                except (ConnectionError, RuntimeError):
+                    pass  # client went away; nothing to deliver to
+
+        async def run_submit(request: Dict[str, Any]) -> None:
+            await respond(await self.router.submit(request))
+
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    request = json.loads(line)
+                    if not isinstance(request, dict):
+                        raise ValueError("request must be an object")
+                except ValueError as exc:
+                    await respond({
+                        "id": None, "status": "error",
+                        "error": "ProtocolError",
+                        "message": f"bad request line: {exc}",
+                        "retriable": False,
+                    })
+                    continue
+                op = request.get("op", "submit")
+                if op == "ping":
+                    await respond({"id": request.get("id"),
+                                   "status": "ok", "pong": True})
+                elif op == "status":
+                    status = self.router.status()
+                    status["id"] = request.get("id")
+                    await respond(status)
+                elif op == "shutdown":
+                    await respond({"id": request.get("id"),
+                                   "status": "ok", "draining": True})
+                    asyncio.get_running_loop().create_task(
+                        self.shutdown())
+                elif op == "submit":
+                    task = asyncio.get_running_loop().create_task(
+                        run_submit(request))
+                    tasks.add(task)
+                    task.add_done_callback(tasks.discard)
+                else:
+                    await respond({
+                        "id": request.get("id"), "status": "error",
+                        "error": "ProtocolError",
+                        "message": f"unknown op {op!r}",
+                        "retriable": False,
+                    })
+        finally:
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, RuntimeError):
+                pass
+
+    async def shutdown(self, drain: bool = True) -> None:
+        """Graceful stop: close the listener, drain, stop the fleet."""
+        if self._shutdown_started.is_set():
+            await self._stopped.wait()
+            return
+        self._shutdown_started.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if drain:
+            await self.router.drain()
+        await self.router.fleet.stop()
+        self._stopped.set()
+
+    async def serve_until_shutdown(self) -> None:
+        """Block until a shutdown request (or task cancellation)."""
+        await self._stopped.wait()
+
+
+class ServiceClient:
+    """Minimal JSON-lines client for the service socket."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._lock = asyncio.Lock()
+
+    async def connect(self) -> "ServiceClient":
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port)
+        return self
+
+    async def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one request and read one response (serialized per
+        client; open several clients for concurrency)."""
+        async with self._lock:
+            self._writer.write(
+                (json.dumps(payload) + "\n").encode())
+            await self._writer.drain()
+            line = await self._reader.readline()
+        if not line:
+            raise ConnectionError("service closed the connection")
+        return json.loads(line)
+
+    async def submit(self, job: Dict[str, Any],
+                     request_id: Any = None,
+                     deadline_s: Optional[float] = None) -> Dict[str, Any]:
+        request = {"op": "submit", "id": request_id, "job": job}
+        if deadline_s is not None:
+            request["deadline_s"] = deadline_s
+        return await self.request(request)
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, RuntimeError):
+                pass
+
+
+__all__ = ["ServiceClient", "ServiceServer"]

@@ -214,7 +214,9 @@ class Watchdog:
                     f"no application progress for "
                     f"{sim.now - self._stalled_since:.0f}us "
                     f"(hang watchdog, t={sim.now:.1f}us)\n"
-                    + self.cluster.hang_report()
+                    + self.cluster.hang_report(),
+                    config_hash=self.cluster.config_hash(),
+                    fault_seed=self.cluster.fault_seed,
                 )
             retransmits = self._retransmit_total()
             if retransmits - self._last_retransmits >= \

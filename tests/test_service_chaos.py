@@ -1,0 +1,63 @@
+"""Service-level chaos: kills and stalls under live requests.
+
+The contract (see docs/SERVICE.md): every accepted request terminates
+with either a bit-identical result or a structured retriable error,
+malformed requests fail structurally even mid-chaos, and one seed
+produces one outcome map, every time.
+"""
+
+import pytest
+
+from repro.service.chaos import (
+    chaos_campaign,
+    plan_campaign,
+    reference_payloads,
+    run_service_chaos,
+)
+
+
+def test_fault_plan_is_seed_deterministic():
+    specs_a, faults_a = plan_campaign(seed=5, requests=10)
+    specs_b, faults_b = plan_campaign(seed=5, requests=10)
+    assert specs_a == specs_b
+    assert faults_a == faults_b
+    for fault, delay in faults_a.values():
+        assert fault in ("kill", "stall")
+        assert 0.05 <= delay <= 0.5
+    # Another seed draws a different schedule (faults or delays).
+    _, faults_c = plan_campaign(seed=6, requests=10)
+    assert faults_a != faults_c
+
+
+def test_reference_payloads_are_frozen_per_key():
+    specs, _ = plan_campaign(seed=0, requests=4)
+    refs = reference_payloads(specs)
+    assert set(refs) == {spec.cache_key() for spec in specs}
+    again = reference_payloads(specs)
+    assert refs == again  # engine determinism, byte for byte
+
+
+@pytest.mark.slow
+def test_chaos_campaign_holds_the_contract_and_is_deterministic():
+    report = chaos_campaign(seed=3, requests=6, workers=2, runs=2)
+    assert report["deterministic"] is True
+    # Every real request ended ok and bit-identical (run_service_chaos
+    # raises ChaosContractViolation otherwise); the two malformed
+    # requests surfaced as structured errors.
+    statuses = {v["status"] for v in report["verdicts"].values()}
+    assert "ok" in statuses
+    assert report["verdicts"]["bad-op"]["status"] == "structured-error"
+    assert report["verdicts"]["bad-kind"]["status"] == "structured-error"
+    assert report["router"]["requests"] == 6 + 2
+
+
+@pytest.mark.slow
+def test_single_chaos_run_reuses_shared_references():
+    import asyncio
+
+    specs, _ = plan_campaign(seed=1, requests=4)
+    refs = reference_payloads(specs)
+    report = asyncio.run(run_service_chaos(
+        seed=1, requests=4, workers=2, references=refs))
+    assert report["ok"] >= 1
+    assert report["distinct_keys"] == len(refs)

@@ -1,0 +1,119 @@
+"""Wire protocol and result-cache unit tests (no processes spawned)."""
+
+import pytest
+
+from repro.service.cache import CacheIntegrityError, ResultCache
+from repro.service.protocol import (
+    JobSpec,
+    ProtocolError,
+    error_response,
+    ok_response,
+    overloaded_response,
+)
+
+
+# -- JobSpec ------------------------------------------------------------------
+def test_make_sorts_args_so_order_never_matters():
+    a = JobSpec.make("point", "via_latency", nbytes=64, repeats=5)
+    b = JobSpec.make("point", "via_latency", repeats=5, nbytes=64)
+    assert a == b
+    assert a.cache_key() == b.cache_key()
+
+
+def test_wire_roundtrip_preserves_identity():
+    spec = JobSpec.make("figure", "fig2", quick=True, seed=3)
+    assert JobSpec.from_wire(spec.to_wire()) == spec
+
+
+def test_cache_key_covers_seed_and_args():
+    base = JobSpec.make("point", "via_latency", nbytes=64)
+    assert base.cache_key() != JobSpec.make(
+        "point", "via_latency", nbytes=128).cache_key()
+    assert base.cache_key() != JobSpec.make(
+        "point", "via_latency", nbytes=64, seed=1).cache_key()
+    assert base.cache_key() == JobSpec.make(
+        "point", "via_latency", nbytes=64).cache_key()
+
+
+def test_request_deadline_is_not_part_of_the_job_identity():
+    # deadline_s is a *request* field; JobSpec has no slot for it, so
+    # two clients asking for the same job with different patience
+    # always share one cache entry.
+    wire = JobSpec.make("point", "via_latency", nbytes=64).to_wire()
+    assert "deadline_s" not in wire
+
+
+@pytest.mark.parametrize("bad", [
+    None,
+    "not an object",
+    {"kind": "warp-drive"},
+    {"kind": "point", "name": 42},
+    {"kind": "point", "name": "x", "seed": "zero"},
+    {"kind": "point", "name": "x", "seed": True},
+    {"kind": "point", "name": "x", "args": "not an object"},
+    {"kind": "point", "name": "x", "args": {"v": [1, 2]}},
+    {"kind": "point", "name": "x", "args": {1: "non-string key"}},
+])
+def test_from_wire_rejects_malformed_jobs(bad):
+    with pytest.raises(ProtocolError):
+        JobSpec.from_wire(bad)
+
+
+def test_labels_and_arg_lookup():
+    spec = JobSpec.make("point", "via_latency", nbytes=64)
+    assert spec.label() == "point:via_latency"
+    assert JobSpec.make("trace").label() == "trace"
+    assert spec.arg("nbytes") == 64
+    assert spec.arg("missing", "fallback") == "fallback"
+
+
+# -- response shapes ----------------------------------------------------------
+def test_response_builders_shapes():
+    ok = ok_response("r1", "k" * 64, {"value": 1}, "hit", attempts=0,
+                     elapsed_s=0.001)
+    assert ok["status"] == "ok" and ok["cache"] == "hit"
+    err = error_response("r2", "WorkerCrashed", "boom", retriable=True,
+                         attempts=3, key="k" * 64)
+    assert err["status"] == "error" and err["retriable"] is True
+    shed = overloaded_response("r3", 0.05)
+    assert shed["status"] == "overloaded" and shed["retriable"] is True
+    assert shed["retry_after_s"] == 0.05
+
+
+# -- ResultCache --------------------------------------------------------------
+def test_cache_roundtrip_returns_fresh_decodes():
+    cache = ResultCache()
+    cache.put("k1", {"value": [1, 2, 3]})
+    first = cache.get("k1")
+    first["value"].append(99)  # mutating a result must not poison it
+    assert cache.get("k1") == {"value": [1, 2, 3]}
+
+
+def test_cache_put_is_idempotent_but_guards_integrity():
+    cache = ResultCache()
+    cache.put("k1", {"value": 1})
+    cache.put("k1", {"value": 1})  # identical: fine
+    assert len(cache) == 1
+    with pytest.raises(CacheIntegrityError):
+        cache.put("k1", {"value": 2})
+
+
+def test_cache_lru_eviction():
+    cache = ResultCache(capacity=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.get("a") == 1  # touch "a" so "b" is the LRU entry
+    cache.put("c", 3)
+    assert "b" not in cache
+    assert cache.get("a") == 1 and cache.get("c") == 3
+
+
+def test_cache_snapshot_counts_hits_and_misses():
+    cache = ResultCache(capacity=8)
+    cache.put("a", 1)
+    cache.get("a")
+    cache.get("nope")
+    snap = cache.snapshot()
+    assert snap["entries"] == 1
+    assert snap["hits"] == 1 and snap["misses"] == 1
+    assert snap["capacity"] == 8
