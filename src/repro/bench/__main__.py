@@ -45,6 +45,22 @@ def _write_profile(path: str, mode: str, profile: dict) -> None:
         handle.write("\n")
 
 
+def _merge_sharded_section(path: str, scaling: dict) -> None:
+    """Write the shard-scaling profile as BENCH_PERF.json's ``sharded``
+    section, preserving whatever the fast-path jobs recorded."""
+    data = {}
+    if os.path.exists(path):
+        try:
+            with open(path) as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            data = {}
+    data["sharded"] = scaling
+    with open(path, "w") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-bench",
@@ -80,11 +96,28 @@ def main(argv=None) -> int:
     parser.add_argument("--breakdown", action="store_true",
                         help="print the per-span-kind latency "
                              "breakdown of the fig2 point workload")
+    parser.add_argument("--shards", type=int, default=0, metavar="N",
+                        help="run one sharded (PDES) workload across N "
+                             "shard processes and print its table")
+    parser.add_argument("--shard-dims", default="4,8,8", metavar="DxDxD",
+                        help="torus dims for --shards/--shard-scaling "
+                             "(comma separated, default 4,8,8 = the "
+                             "256-node fig4 mesh)")
+    parser.add_argument("--shard-workload", default="aggregate",
+                        choices=("pingpong", "collective", "aggregate"),
+                        help="PDES workload for --shards/--shard-scaling")
+    parser.add_argument("--shard-scaling", action="store_true",
+                        help="profile the sharded engine at 1/2/4 "
+                             "shards and record the 'sharded' section "
+                             "of BENCH_PERF.json (implies --profile "
+                             "output for that section)")
     args = parser.parse_args(argv)
     if (not args.experiments and not args.chaos and not args.trace
-            and not args.breakdown):
+            and not args.breakdown and not args.shards
+            and not args.shard_scaling):
         parser.error("name at least one experiment (or use --chaos N, "
-                     "--trace OUT.json, --breakdown)")
+                     "--trace OUT.json, --breakdown, --shards N, "
+                     "--shard-scaling)")
 
     if args.trace or args.breakdown:
         from repro.bench import observability as obs_bench
@@ -98,6 +131,40 @@ def main(argv=None) -> int:
                 obs_bench.breakdown_report(quick=args.quick)
             )
         if not args.experiments and not args.chaos:
+            return 0
+
+    if args.shards or args.shard_scaling:
+        from repro.pdes import run_sharded, shard_scaling_profile
+
+        dims = tuple(int(d) for d in args.shard_dims.split(","))
+        if args.shards:
+            result = run_sharded(dims, workload=args.shard_workload,
+                                 nshards=args.shards, processes=True)
+            sys.stdout.write(
+                f"[sharded {args.shard_workload} dims={dims} "
+                f"nshards={result.nshards} windows={result.windows} "
+                f"events={result.events_processed} "
+                f"wall={result.wall_seconds:.2f}s]\n"
+                f"{result.table}\n\n"
+            )
+        if args.shard_scaling:
+            scaling = shard_scaling_profile(
+                dims, workload=args.shard_workload)
+            for count, entry in sorted(scaling["shards"].items(),
+                                       key=lambda kv: int(kv[0])):
+                sys.stdout.write(
+                    f"[shard-scaling n={count}: "
+                    f"{entry['wall_seconds']:.2f}s wall, "
+                    f"{entry['events']} events, "
+                    f"speedup x{entry['speedup_vs_baseline']}]\n"
+                )
+            sys.stdout.write(
+                f"[shard-scaling tables identical: "
+                f"{scaling['tables_identical']}]\n\n"
+            )
+            _merge_sharded_section("BENCH_PERF.json", scaling)
+        if (not args.experiments and not args.chaos and not args.trace
+                and not args.breakdown):
             return 0
 
     if args.chaos:

@@ -20,11 +20,12 @@ from typing import Dict, List, Optional, Sequence
 from repro.errors import ConfigurationError
 from repro.hw import faults as fault_model
 from repro.hw.faults import FaultInjector, NodeFaultSpec, merge_node_faults
-from repro.hw.link import Link
+from repro.hw.link import BoundaryLink, Link
 from repro.hw.nic import GigEPort
 from repro.hw.node import Host
 from repro.hw.params import GigEParams, HostParams, TcpParams, ViaParams
 from repro.sim import Simulator
+from repro.topology.partition import ShardPlan
 from repro.topology.torus import Direction, Torus
 
 
@@ -48,6 +49,8 @@ class MeshCluster:
                  host_params: Optional[HostParams] = None,
                  gige_params: Optional[GigEParams] = None,
                  node_faults: Optional[Sequence[NodeFaultSpec]] = None,
+                 shard_plan: Optional[ShardPlan] = None,
+                 shard_id: Optional[int] = None,
                  ) -> None:
         self.sim = sim or Simulator()
         self.torus = torus
@@ -60,6 +63,31 @@ class MeshCluster:
                     f"NodeFaultSpec rank {spec.rank} outside "
                     f"0..{torus.size - 1}"
                 )
+        if (shard_plan is None) != (shard_id is None):
+            raise ConfigurationError(
+                "shard_plan and shard_id must be given together"
+            )
+        self.shard_plan = shard_plan
+        self.shard_id = shard_id
+        if shard_plan is not None:
+            if tuple(shard_plan.dims) != tuple(torus.dims) \
+                    or shard_plan.wrap != torus.wrap:
+                raise ConfigurationError(
+                    f"shard plan {shard_plan.dims}/wrap={shard_plan.wrap} "
+                    f"does not match {torus!r}"
+                )
+            if self.node_faults:
+                raise ConfigurationError(
+                    "sharded (PDES) runs are fault-free: node faults "
+                    "require the sequential engine"
+                )
+            self._local_ranks = frozenset(shard_plan.local_ranks(shard_id))
+        else:
+            self._local_ranks = None
+        #: Cross-shard egress commits appended by every
+        #: :class:`~repro.hw.link.BoundaryLink`; the shard runtime
+        #: drains this at each conservative-window barrier.
+        self.pdes_outbox: List[tuple] = []
         #: Mesh-wide alive-set (the failure detector's published view).
         self._alive = [True] * torus.size
         #: (rank, time, declared-by, reason) death records, in order.
@@ -70,8 +98,14 @@ class MeshCluster:
             raise ConfigurationError(f"{torus!r} has no links to wire")
         # One dual-port adapter per axis -> one PCI-X slot per axis.
         num_pci = max(1, (max(d.port for d in directions) // 2) + 1)
-        self.nodes: List[MeshNode] = []
+        #: Indexed by rank; ``None`` placeholders for ranks owned by
+        #: other shards keep rank indexing uniform everywhere.
+        self.nodes: List[Optional[MeshNode]] = []
         for rank in torus.ranks():
+            if (self._local_ranks is not None
+                    and rank not in self._local_ranks):
+                self.nodes.append(None)
+                continue
             host = Host(self.sim, rank, self.host_params,
                         num_pci_buses=num_pci)
             node = MeshNode(rank=rank, host=host)
@@ -92,6 +126,12 @@ class MeshCluster:
         fault_params = g.faults or fault_model.ambient()
         if fault_params is not None and not fault_params.active():
             fault_params = None
+        if self._local_ranks is not None and (
+                fault_params is not None or g.corrupt_every is not None):
+            raise ConfigurationError(
+                "sharded (PDES) runs are fault-free: link faults and "
+                "corrupt_every require the sequential engine"
+            )
         #: (rank, port index) -> the Link wired there.
         self._link_map: Dict[tuple, Link] = {}
         for rank in self.torus.ranks():
@@ -102,6 +142,39 @@ class MeshCluster:
                     continue
                 neighbor = self.torus.neighbor(rank, direction)
                 name = f"link[{rank}{direction}{neighbor}]"
+                if self._local_ranks is not None:
+                    rank_local = rank in self._local_ranks
+                    neighbor_local = neighbor in self._local_ranks
+                    if not rank_local and not neighbor_local:
+                        continue
+                    if rank_local != neighbor_local:
+                        # Cut link: wire a boundary proxy on the local
+                        # endpoint only.  Same name and side numbering
+                        # as the reference link so frame timing, span
+                        # tracks and the canonical ingress sort agree
+                        # with the sequential engine.
+                        if rank_local:
+                            local_rank, local_port = rank, direction.port
+                            remote_rank = neighbor
+                            remote_port = direction.opposite.port
+                            side = 0
+                        else:
+                            local_rank = neighbor
+                            local_port = direction.opposite.port
+                            remote_rank, remote_port = rank, direction.port
+                            side = 1
+                        link = BoundaryLink(
+                            self.sim, g.wire_rate, g.frame_overhead,
+                            g.propagation, name=name,
+                            outbox=self.pdes_outbox,
+                            remote_rank=remote_rank,
+                            remote_port=remote_port,
+                        )
+                        self.nodes[local_rank].ports[local_port] \
+                            .attach_link(link, side)
+                        self._link_map[(local_rank, local_port)] = link
+                        self.links.append(link)
+                        continue
                 # Node faults compose onto the link schedule: a crash
                 # at either endpoint kills the link, a NIC outage
                 # window downs it transiently.
@@ -277,7 +350,7 @@ class MeshCluster:
                 f"(declared by {by}: {reason})"
             )
         for node in self.nodes:
-            if node.via is None:
+            if node is None or node.via is None:
                 continue
             agent = node.via.agent
             for vi in node.via.vis.values():
@@ -317,6 +390,8 @@ class MeshCluster:
 
         params = via_params or ViaParams()
         for node in self.nodes:
+            if node is None:
+                continue
             if node.via is not None or node.tcp is not None:
                 raise ConfigurationError(
                     f"node {node.rank} already has a protocol stack"
@@ -345,7 +420,7 @@ class MeshCluster:
 
         totals = {key: 0 for key in RELIABILITY_COUNTERS}
         for node in self.nodes:
-            if node.via is None:
+            if node is None or node.via is None:
                 continue
             stats = node.via.agent.stats
             for key in RELIABILITY_COUNTERS:
@@ -369,6 +444,8 @@ class MeshCluster:
 
         params = tcp_params or TcpParams()
         for node in self.nodes:
+            if node is None:
+                continue
             if node.via is not None or node.tcp is not None:
                 raise ConfigurationError(
                     f"node {node.rank} already has a protocol stack"
@@ -389,17 +466,23 @@ def build_mesh(dims, wrap: bool = True, stack: str = "via",
                via_params: Optional[ViaParams] = None,
                tcp_params: Optional[TcpParams] = None,
                node_faults: Optional[Sequence[NodeFaultSpec]] = None,
+               shard_plan: Optional[ShardPlan] = None,
+               shard_id: Optional[int] = None,
                ) -> MeshCluster:
     """One-call cluster factory.
 
     ``stack`` is ``"via"``, ``"tcp"`` or ``"none"``.  ``node_faults``
     (a sequence of :class:`~repro.hw.faults.NodeFaultSpec`) arms the
     node-failure machinery: per-node crash/NIC-outage schedules, the
-    keepalive failure detector, and the hang watchdog.
+    keepalive failure detector, and the hang watchdog.  ``shard_plan``
+    plus ``shard_id`` build only that shard's slab of the mesh, with
+    :class:`~repro.hw.link.BoundaryLink` proxies on cut links (see
+    :mod:`repro.pdes`).
     """
     cluster = MeshCluster(Torus(dims, wrap=wrap), sim=sim,
                           host_params=host_params, gige_params=gige_params,
-                          node_faults=node_faults)
+                          node_faults=node_faults,
+                          shard_plan=shard_plan, shard_id=shard_id)
     if stack == "via":
         cluster.attach_via(via_params)
     elif stack == "tcp":

@@ -160,11 +160,15 @@ def plan_train(port, frames) -> Optional[_Plan]:
         return None
     link = port.link
     params = port.params
-    if link is None or not params.hw_checksum or link.fault_capable:
+    if (link is None or not params.hw_checksum or link.fault_capable
+            or link.is_boundary):
         # Any fault knob (legacy corrupt_every or the generalized
         # loss/flap/death model) disengages the train: the plan
         # schedules arrivals unconditionally, which a dropped frame
-        # would falsify.  The caller runs the exact per-frame path.
+        # would falsify.  Shard-boundary links disengage too — their
+        # egress must be committed frame by frame at serialization
+        # start for the PDES lookahead bound to hold.  The caller runs
+        # the exact per-frame path.
         return None
     host = port.host
     membus = host.membus

@@ -76,6 +76,14 @@ class Link:
     Ports attach with :meth:`attach`; side 0 and side 1 are symmetric.
     """
 
+    #: Whether this is a PDES shard-boundary proxy (see
+    #: :class:`BoundaryLink`).  The NIC wire loop and the frame-train
+    #: fast path key off this: both shortcut serialization through
+    #: :meth:`complete_tx`, which boundary links cannot honor (their
+    #: egress must be committed at serialization *start* to respect the
+    #: synchronization lookahead).
+    is_boundary = False
+
     def __init__(self, sim: Simulator, wire_rate: float,
                  frame_overhead: int, propagation: float,
                  name: str = "link",
@@ -236,3 +244,110 @@ class Link:
             return
         Callback(self.sim, lambda: peer.frame_arrived(frame),
                  delay=self.propagation)
+
+
+class BoundaryLink(Link):
+    """Local half of a cut link in a sharded (PDES) simulation.
+
+    Exactly one side is attached — the port that lives in this shard.
+    Transmits replay :meth:`Link.transmit`'s float arithmetic op for
+    op (line grant, ``fl(now + duration)`` serialization end,
+    ``fl(end + propagation)`` arrival), but instead of delivering to an
+    attached peer the frame is *committed* to the shard's egress outbox
+    at serialization **start**.  Committing at start is what makes the
+    conservative window sound: the frame's arrival is then at least one
+    full lookahead (min-frame serialization + propagation) after the
+    commit event, so a frame committed inside window ``(B_prev, B]``
+    always arrives at or after the next barrier and can be exchanged at
+    barrier ``B`` without ever landing in the receiving shard's past.
+
+    Ingress (frames committed by the remote half) is injected by the
+    shard runtime straight into the attached port's ``frame_arrived``
+    at the precomputed arrival instant — the same callback the
+    reference path schedules, at the bit-identical time.
+
+    Fault injection is refused: the PDES engine is fault-free in v1
+    (loss/death verdicts depend on cross-shard state the conservative
+    exchange does not carry).
+    """
+
+    is_boundary = True
+
+    def __init__(self, sim: Simulator, wire_rate: float,
+                 frame_overhead: int, propagation: float,
+                 name: str, outbox: list,
+                 remote_rank: int, remote_port: int) -> None:
+        super().__init__(sim, wire_rate, frame_overhead, propagation,
+                         name=name)
+        #: Shard-wide egress buffer, drained at window barriers.
+        self.outbox = outbox
+        #: Destination of frames sent from the locally attached side.
+        self.remote_rank = remote_rank
+        self.remote_port = remote_port
+        #: Per-link egress sequence, part of the canonical merge key.
+        self._egress_seq = 0
+
+    def peer(self, side: int) -> "GigEPort":
+        raise ConfigurationError(
+            f"{self.name} is a shard boundary; the remote port lives in "
+            f"another process"
+        )
+
+    def transmit(self, side: int, frame: Frame):
+        """Process: serialize out of the shard; commit to the outbox.
+
+        Mirrors :meth:`Link.transmit`'s timing exactly: the line is
+        held for the serialization time and stats/recorder effects land
+        at serialization end, so a sharded run and the sequential
+        reference process the identical event schedule on the sending
+        side.  Only the delivery differs — an outbox record instead of
+        a :class:`~repro.sim.events.Callback`, carrying the arrival
+        instant the reference path would have used.
+        """
+        if self.corrupt_every is not None or self.faults is not None:
+            raise ConfigurationError(
+                f"{self.name}: fault injection unsupported on shard "
+                f"boundaries"
+            )
+        line = self._lines[side]
+        duration = self.serialization_time(frame)
+        req = line.request()
+        yield req
+        started = self.sim._now
+        # The reference path schedules delivery at serialization end
+        # (= fl(started + duration), the timeout's landing instant)
+        # plus propagation; precompute the identical chained roundings.
+        arrival = (started + duration) + self.propagation
+        self._commit(side, frame, arrival)
+        try:
+            yield self.sim.timeout(duration)
+            self.stats["frames"][side] += 1
+            self.stats["bytes"][side] += frame.payload_bytes
+            self._judge(side, frame)
+        finally:
+            line.release(req)
+        rec = self.sim.recorder
+        if rec is not None:
+            ctx = getattr(frame.payload, "trace", None)
+            if ctx is not None:
+                rec.span(ctx, _WIRE_HOP, self.name, self.name,
+                         started, arrival)
+
+    def _commit(self, side: int, frame: Frame, arrival: float) -> None:
+        """Egress record: ships to the coordinator at the next barrier."""
+        self._egress_seq += 1
+        # The send-completion hook has already run (the NIC fetch stage
+        # invokes it before the frame reaches the wire); drop it so the
+        # frame pickles cleanly across the process boundary.
+        frame.on_fetched = None
+        self.outbox.append(
+            (arrival, self.name, self._egress_seq,
+             self.remote_rank, self.remote_port, frame)
+        )
+
+    def complete_tx(self, side: int, frame: Frame,
+                    started: float = None) -> None:
+        raise ConfigurationError(
+            f"{self.name}: the fast wire path must not engage on a "
+            f"shard boundary"
+        )

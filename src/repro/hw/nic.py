@@ -206,7 +206,7 @@ class GigEPort:
                 frame = yield fifo.get()
             if self.link is None:
                 raise ConfigurationError(f"{self.name} has no link")
-            if sim._fast and params.hw_checksum:
+            if sim._fast and params.hw_checksum and not self.link.is_boundary:
                 virt = self._virt
                 if virt is not None:
                     if sim._now < virt.wire_ready:

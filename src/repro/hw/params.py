@@ -105,6 +105,22 @@ class GigEParams(Canonical):
     #: Port price, US$ (section 3: "$140 each, $420/node").
     price_per_port: float = 140.0
 
+    def min_wire_latency(self) -> float:
+        """Lower bound on any frame's link latency (microseconds).
+
+        Serialization of a minimum-size Ethernet frame plus the
+        propagation delay: no frame — not even a padded-out ACK — can
+        cross a link faster than this.  The PDES engine uses it as the
+        conservative-synchronization lookahead for cut links, so the
+        window bound is *derived* from the calibrated wire model rather
+        than hard-coded (see ``docs/PDES.md``).
+        """
+        # Mirrors Frame.wire_bytes for an empty body: Ethernet pads to
+        # the 64-byte minimum (46 bytes of body space) before framing
+        # overhead is added.
+        min_wire_bytes = (units.ETHERNET_MIN_FRAME - 18) + self.frame_overhead
+        return min_wire_bytes / self.wire_rate + self.propagation
+
 
 @dataclass(frozen=True)
 class ViaParams(Canonical):

@@ -21,10 +21,28 @@ Times are simulator microseconds throughout.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.sim.monitor import SampleStats
+
+#: Trace ids are namespaced per track: ``(base << TRACK_SHIFT) + seq``
+#: where ``base`` is the rank for per-node tracks ("n<rank>") and a
+#: CRC-derived constant above any plausible rank otherwise.  Allocation
+#: is then a pure function of (track, messages-so-far-on-track), so a
+#: sharded simulation — one recorder per shard, each seeing only its
+#: own ranks — assigns every message the *same* id the sequential
+#: reference does, and per-shard span sets merge without renumbering.
+TRACK_SHIFT = 32
+_NON_RANK_BASE = 1 << 33
+
+
+def track_base(track: str) -> int:
+    """The trace-id namespace of ``track`` (stable across processes)."""
+    if track[:1] == "n" and track[1:].isdigit():
+        return int(track[1:])
+    return _NON_RANK_BASE + zlib.crc32(track.encode("utf-8", "replace"))
 
 # Span kinds (the lifecycle stages of a message).
 MESSAGE = "message"              # root span: one per trace id
@@ -141,14 +159,22 @@ class FlightRecorder:
         self.spans: List[Span] = []
         self.events: List[Span] = []
         self.metrics = MetricsTimeline(metrics_interval)
-        self._next_trace = 0
+        #: Per-namespace allocation counters (see :func:`track_base`).
+        self._base_sequences: Dict[int, int] = {}
 
     # -- trace lifecycle ------------------------------------------------
 
     def start_trace(self, name: str, track: str, start: float) -> int:
-        """Allocate a trace id for a new message; returns the id."""
-        trace = self._next_trace
-        self._next_trace = trace + 1
+        """Allocate a trace id for a new message; returns the id.
+
+        Ids are namespaced per track so allocation does not depend on
+        cross-track interleaving — the property that keeps sharded and
+        sequential runs id-identical (see :data:`TRACK_SHIFT`).
+        """
+        base = track_base(track)
+        seq = self._base_sequences.get(base, 0)
+        self._base_sequences[base] = seq + 1
+        trace = (base << TRACK_SHIFT) + seq
         self.traces[trace] = TraceInfo(trace, name, track, start)
         return trace
 

@@ -1,0 +1,371 @@
+"""Conservative-window coordinator for sharded simulations.
+
+``run_sharded`` partitions the torus into slabs
+(:func:`~repro.topology.partition.make_shard_plan`), builds one
+:class:`~repro.pdes.shard.ShardRuntime` per shard — in-process or as
+subprocess workers — and advances them in lock-step windows:
+
+1. ``base`` = min over all shards' next-event times and all in-flight
+   cross-shard arrivals;
+2. every shard runs to ``base + lookahead``, where the lookahead is
+   the minimum wire latency of any cut link (no cross-shard influence
+   can travel faster, because boundary egress is committed at
+   serialization start — see :mod:`repro.topology.partition`);
+3. at the barrier, committed egress frames and deferred channel
+   notifies are exchanged and injected, in canonical order, for the
+   next window.
+
+Termination is *global quiescence* — every shard's queue drained and
+nothing in flight — rather than any program-completion probe, so the
+sharded and sequential engines process exactly the same event set.  A
+shard whose drivers are still blocked at quiescence raises
+:class:`~repro.errors.DeadlockError`, the distributed analogue of the
+sequential engine's drained-queue deadlock.
+
+Determinism contract (pinned by ``tests/test_pdes_identity.py``): for
+fault-free runs, the experiment table, the flight-recorder span set
+and every per-rank result are bit-identical across shard counts and
+across the in-process/subprocess execution styles.  ``nshards=1``
+through this same machinery *is* the sequential reference.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro import fastpath
+from repro.errors import SimulationError
+from repro.hw.params import GigEParams
+from repro.obs.merge import merge_recorders
+from repro.pdes.shard import ShardRuntime
+from repro.pdes.worker import shard_worker_main
+from repro.pdes.workloads import get_workload
+from repro.sim import core as sim_core
+from repro.topology.partition import make_shard_plan, shard_lookahead
+from repro.topology.torus import Torus
+
+_INF = float("inf")
+
+
+@dataclass
+class PdesResult:
+    """Outcome of one sharded run."""
+
+    table: dict
+    per_rank: Dict[int, object]
+    nshards: int
+    windows: int
+    events_processed: int
+    now: float
+    wall_seconds: float
+    processes: bool
+    reliability: Dict[str, int] = field(default_factory=dict)
+    recorder: Optional[object] = None
+
+
+class InProcessShard:
+    """Shard handle running the runtime in the coordinator process."""
+
+    processes = False
+
+    def __init__(self, spec: dict) -> None:
+        self.runtime = ShardRuntime(spec)
+        self._reply = None
+
+    def ready(self) -> float:
+        return self.runtime.peek()
+
+    def window_send(self, until, ingress, notifies) -> None:
+        self._reply = self.runtime.run_window(until, ingress, notifies)
+
+    def window_recv(self):
+        reply, self._reply = self._reply, None
+        return reply
+
+    def finish_send(self) -> None:
+        self._reply = self.runtime.finish()
+
+    def finish_recv(self) -> dict:
+        reply, self._reply = self._reply, None
+        return reply
+
+    def external_events(self, payload: dict) -> int:
+        return 0  # this process's simulators already counted them
+
+    def close(self) -> None:
+        pass
+
+
+class PipeShard:
+    """Shard handle driving a spawn-context subprocess worker."""
+
+    processes = True
+
+    def __init__(self, spec: dict) -> None:
+        ctx = multiprocessing.get_context("spawn")
+        self.conn, child = ctx.Pipe(duplex=True)
+        self.process = ctx.Process(
+            target=shard_worker_main, args=(child,), daemon=True,
+            name=f"repro-pdes-shard-{spec['shard_id']}",
+        )
+        self.process.start()
+        # Drop our copy of the child's end so EOF propagates on death.
+        child.close()
+        self.conn.send(("build", spec))
+
+    def _recv(self, expect: str) -> tuple:
+        try:
+            message = self.conn.recv()
+        except EOFError:
+            raise SimulationError(
+                f"PDES shard worker {self.process.name} died "
+                f"(pipe EOF)"
+            ) from None
+        if message[0] == "error":
+            raise SimulationError(
+                f"PDES shard worker {self.process.name} failed: "
+                f"{message[1]}\n{message[2]}"
+            )
+        if message[0] != expect:
+            raise SimulationError(
+                f"PDES protocol error: expected {expect!r}, got "
+                f"{message[0]!r}"
+            )
+        return message
+
+    def ready(self) -> float:
+        return self._recv("ready")[1]
+
+    def window_send(self, until, ingress, notifies) -> None:
+        self.conn.send(("window", until, ingress, notifies))
+
+    def window_recv(self):
+        message = self._recv("barrier")
+        return message[1], message[2], message[3]
+
+    def finish_send(self) -> None:
+        self.conn.send(("finish",))
+
+    def finish_recv(self) -> dict:
+        return self._recv("result")[1]
+
+    def external_events(self, payload: dict) -> int:
+        return int(payload["events"])
+
+    def close(self) -> None:
+        try:
+            self.conn.send(("stop",))
+        except (OSError, ValueError):
+            pass
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+        self.process.join(timeout=10.0)
+        if self.process.is_alive():  # pragma: no cover - cleanup path
+            self.process.terminate()
+            self.process.join(timeout=5.0)
+
+
+def run_sharded(dims: Sequence[int], wrap: bool = True,
+                workload: str = "aggregate", nshards: int = 1, *,
+                kwargs: Optional[dict] = None,
+                observe: bool = False,
+                metrics_interval: float = 50.0,
+                processes: bool = False,
+                max_windows: Optional[int] = None) -> PdesResult:
+    """Run ``workload`` on a ``dims`` torus across ``nshards`` shards.
+
+    ``processes=False`` keeps every shard in this process (fast to
+    start, ideal for determinism tests); ``processes=True`` gives each
+    shard its own OS process for real parallel speedup.  Results are
+    identical either way.
+    """
+    start_wall = time.perf_counter()
+    torus = Torus(tuple(dims), wrap=wrap)
+    plan = make_shard_plan(torus, nshards)
+    wl = get_workload(workload)
+    lookahead = shard_lookahead(torus, plan, GigEParams())
+    base_spec = {
+        "dims": list(torus.dims),
+        "wrap": torus.wrap,
+        "nshards": nshards,
+        "workload": wl.name,
+        "kwargs": dict(kwargs or {}),
+        "fast": fastpath.enabled(),
+        "observe": bool(observe),
+        "metrics_interval": metrics_interval,
+    }
+    handle_cls = PipeShard if processes else InProcessShard
+    shards: List[object] = []
+    try:
+        for shard_id in range(nshards):
+            shards.append(handle_cls({**base_spec, "shard_id": shard_id}))
+        peeks = [shard.ready() for shard in shards]
+        pending: List[tuple] = []   # committed egress awaiting injection
+        notifies: List[Tuple[int, int]] = []
+        windows = 0
+        while True:
+            base = min(peeks)
+            for entry in pending:
+                if entry[0] < base:
+                    base = entry[0]
+            if base == _INF and not notifies:
+                break
+            if max_windows is not None and windows >= max_windows:
+                raise SimulationError(
+                    f"PDES run exceeded {max_windows} windows at "
+                    f"t={base:.3f}us"
+                )
+            # base == inf with notifies still queued (a tail-end
+            # channel open) falls through to a full-drain window.
+            if lookahead == _INF or base == _INF:
+                until = None
+            else:
+                # A frame committed at exactly ``base`` can round to an
+                # arrival a couple of ulps below ``fl(base + lookahead)``
+                # (its arrival is fl(fl(start + serialize) + propagate),
+                # a different rounding order).  Step the bound down a few
+                # ulps so ``until`` never overtakes any possible arrival;
+                # the boundary events just slide into the next window.
+                until = base + lookahead
+                for _ in range(5):
+                    until = math.nextafter(until, 0.0)
+            if until is None:
+                ship, pending = pending, []
+            else:
+                ship = [e for e in pending if e[0] <= until]
+                pending = [e for e in pending if e[0] > until]
+            per_shard_ingress: Dict[int, list] = {}
+            for entry in ship:
+                target = plan.shard_of(entry[3])
+                per_shard_ingress.setdefault(target, []).append(entry)
+            for batch in per_shard_ingress.values():
+                # Canonical injection order: (arrival, dst rank, dst
+                # port, link name, per-link sequence).
+                batch.sort(key=lambda e: (e[0], e[3], e[4], e[1], e[2]))
+            per_shard_notifies: Dict[int, list] = {}
+            for from_rank, to_rank in notifies:
+                target = plan.shard_of(to_rank)
+                per_shard_notifies.setdefault(target, []).append(
+                    (from_rank, to_rank))
+            for batch in per_shard_notifies.values():
+                batch.sort()
+            notifies = []
+            active = []
+            for index, shard in enumerate(shards):
+                ingress_i = per_shard_ingress.get(index, [])
+                notifies_i = per_shard_notifies.get(index, [])
+                if (not ingress_i and not notifies_i
+                        and until is not None and peeks[index] > until):
+                    continue  # nothing for this shard this window
+                active.append(index)
+                shard.window_send(until, ingress_i, notifies_i)
+            for index in active:
+                egress, notifies_out, peek = shards[index].window_recv()
+                pending.extend(egress)
+                notifies.extend(notifies_out)
+                peeks[index] = peek
+            windows += 1
+        for shard in shards:
+            shard.finish_send()
+        payloads = [shard.finish_recv() for shard in shards]
+        per_rank: Dict[int, object] = {}
+        reliability: Dict[str, int] = {}
+        events = 0
+        now = 0.0
+        for shard, payload in zip(shards, payloads):
+            per_rank.update(payload["results"])
+            events += payload["events"]
+            sim_core.record_external_events(
+                shard.external_events(payload))
+            now = max(now, payload["now"])
+            for key, value in payload["reliability"].items():
+                reliability[key] = reliability.get(key, 0) + value
+        recorder = None
+        if observe:
+            recorder = merge_recorders(
+                [p["recorder"] for p in payloads
+                 if p["recorder"] is not None])
+        table = wl.reduce(torus, per_rank)
+        return PdesResult(
+            table=table,
+            per_rank=per_rank,
+            nshards=nshards,
+            windows=windows,
+            events_processed=events,
+            now=now,
+            wall_seconds=time.perf_counter() - start_wall,
+            processes=processes,
+            reliability=reliability,
+            recorder=recorder,
+        )
+    finally:
+        for shard in shards:
+            shard.close()
+
+
+def shard_scaling_profile(dims: Sequence[int] = (4, 8, 8),
+                          wrap: bool = True,
+                          workload: str = "aggregate",
+                          shard_counts: Sequence[int] = (1, 2, 4),
+                          kwargs: Optional[dict] = None,
+                          processes: Optional[bool] = None) -> dict:
+    """Wall-clock scaling of one workload across shard counts.
+
+    The returned dict is the ``sharded`` section of ``BENCH_PERF.json``
+    — per-count wall seconds, event totals and the experiment table,
+    plus the cross-count identity verdict (the tables must match for
+    the speedup claim to mean anything) and the host's usable core
+    count (the speedup is only meaningful relative to it).
+
+    ``processes=None`` auto-selects: worker processes when more than
+    one core is usable, in-process shards otherwise — on a single core
+    subprocess barriers are pure context-switch tax with no parallel
+    win to pay for it.
+    """
+    try:
+        cores = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        cores = os.cpu_count() or 1
+    if processes is None:
+        processes = cores > 1
+    profile: dict = {
+        "dims": list(dims),
+        "wrap": wrap,
+        "workload": workload,
+        "kwargs": dict(kwargs or {}),
+        "processes": processes,
+        "cores": cores,
+        "shards": {},
+    }
+    tables = []
+    for count in shard_counts:
+        result = run_sharded(dims, wrap=wrap, workload=workload,
+                             nshards=count, kwargs=kwargs,
+                             processes=processes)
+        tables.append(repr(result.table))
+        profile["shards"][str(count)] = {
+            "wall_seconds": round(result.wall_seconds, 3),
+            "events": result.events_processed,
+            "windows": result.windows,
+            # The full table is hundreds of per-rank floats; the digest
+            # is enough to prove cross-count identity in the record.
+            "table_sha256": hashlib.sha256(
+                tables[-1].encode()).hexdigest()[:16],
+        }
+    profile["tables_identical"] = len(set(tables)) == 1
+    baseline = profile["shards"][str(shard_counts[0])]["wall_seconds"]
+    for count in shard_counts:
+        entry = profile["shards"][str(count)]
+        entry["speedup_vs_baseline"] = (
+            round(baseline / entry["wall_seconds"], 2)
+            if entry["wall_seconds"] > 0 else None
+        )
+    return profile

@@ -41,6 +41,7 @@ from repro.service.protocol import (
     WorkerCrashed,
 )
 from repro.service.worker import worker_main
+from repro.sim import core as sim_core
 
 _WORKER_IDS = itertools.count()
 
@@ -106,7 +107,7 @@ class Fleet:
         self.dispatches = 0
         self.counters: Dict[str, int] = {
             "jobs_ok": 0, "jobs_failed": 0, "crashes": 0, "hangs": 0,
-            "restarts": 0, "deadline_kills": 0,
+            "restarts": 0, "deadline_kills": 0, "worker_events": 0,
         }
         self.workers: List[WorkerHandle] = []
         self._idle: "asyncio.Queue[WorkerHandle]" = None  # set in start
@@ -272,6 +273,15 @@ class Fleet:
             self._idle.put_nowait(handle)
             if op == "result":
                 self.counters["jobs_ok"] += 1
+                if len(message) > 3:
+                    # Fold the worker simulator's event count into this
+                    # process's global tally; without this, fleet runs
+                    # undercount TOTAL_EVENTS by everything simulated in
+                    # child processes.
+                    events = int(message[3].get("events", 0))
+                    if events > 0:
+                        sim_core.record_external_events(events)
+                        self.counters["worker_events"] += events
                 if not future.done():
                     future.set_result(message[2])
             else:

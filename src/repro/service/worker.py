@@ -15,7 +15,10 @@ parent -> worker
 worker -> parent
     ``("ready", pid)`` once at startup,
     ``("heartbeat", monotonic_t)`` periodically,
-    ``("result", job_id, payload)`` on success,
+    ``("result", job_id, payload, meta)`` on success, where ``meta``
+    carries the worker-side simulator event count for the job so the
+    parent can fold it into its own ``TOTAL_EVENTS`` (older
+    three-element results are still accepted),
     ``("error", job_id, error_type, message)`` on a deterministic
     job failure (the worker survives and takes the next job).
 """
@@ -65,9 +68,12 @@ def worker_main(conn: Any, heartbeat_interval: float = 0.1) -> None:
             try:
                 from repro.service.jobs import execute
                 from repro.service.protocol import JobSpec
+                from repro.sim import core as sim_core
 
+                before = sim_core.TOTAL_EVENTS
                 payload = execute(JobSpec.from_wire(wire))
-                reply = ("result", job_id, payload)
+                meta = {"events": sim_core.TOTAL_EVENTS - before}
+                reply = ("result", job_id, payload, meta)
             except Exception as exc:  # deterministic job failure
                 reply = ("error", job_id, type(exc).__name__, str(exc))
             if not _send(reply):

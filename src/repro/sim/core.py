@@ -32,6 +32,24 @@ TOTAL_EVENTS = 0
 _INF = float("inf")
 
 
+def record_external_events(count: int) -> None:
+    """Fold events processed by simulators in *other* processes into
+    :data:`TOTAL_EVENTS`.
+
+    Worker processes (the service fleet, PDES shard workers) each run
+    their own interpreter, so their simulators bump their own module
+    global; callers that collect per-simulator ``events_processed``
+    deltas over the wire report them here so profile output counts the
+    whole experiment, not just the parent's share.
+    """
+    if count < 0:
+        raise SimulationError(
+            f"external event count must be non-negative ({count})"
+        )
+    global TOTAL_EVENTS
+    TOTAL_EVENTS += count
+
+
 class Simulator:
     """Owns the clock and the event queue.
 
@@ -218,16 +236,20 @@ class Simulator:
             raise SimulationError(
                 f"until={until} is before now={self._now}"
             )
-        if (self._fast and self.trace is None and until is None
-                and not self._crashed):
-            # Hot loop: no trace branch, no bound check, and the
-            # three-way merge inlined without key-tuple allocation.
+        if self._fast and self.trace is None and not self._crashed:
+            # Hot loop: no trace branch, the three-way merge inlined
+            # without key-tuple allocation, and same-instant heap runs
+            # drained in one batch.  ``until`` folds into a single
+            # float compare so window-bounded callers (the PDES
+            # coordinator) get the same loop.
+            bound = _INF if until is None else until
             processed = 0
             crashed = self._crashed
             urgent = self._urgent
             normal = self._normal
             queue = self._queue
             heappop = heapq.heappop
+            heappush = heapq.heappush
             try:
                 while True:
                     if urgent:
@@ -259,14 +281,57 @@ class Simulator:
                         ):
                             when = entry_time
                             source = 3
-                    if source == 0:
+                    if source == 0 or when > bound:
                         break
                     if source == 1:
                         event = urgent.popleft()[2]
                     elif source == 2:
                         event = normal.popleft()[2]
                     else:
-                        event = heappop(queue)[3]
+                        # Batch drain: every heap entry at this
+                        # (time, priority) is already in final order —
+                        # the sequence field settles ties — and in fast
+                        # mode no new heap entry can appear at the
+                        # current instant (zero-delay scheduling goes
+                        # to the deques), so dispatching the run
+                        # without re-running the merge per event is
+                        # order-exact.
+                        first = heappop(queue)
+                        priority = first[1]
+                        batch = [first]
+                        while (queue and queue[0][0] == when
+                               and queue[0][1] == priority):
+                            batch.append(heappop(queue))
+                        self._now = when
+                        index = 0
+                        nbatch = len(batch)
+                        normal_batch = priority == NORMAL
+                        while index < nbatch:
+                            if normal_batch and urgent:
+                                # A zero-delay urgent event scheduled
+                                # mid-batch outranks the rest of it.
+                                break
+                            event = batch[index][3]
+                            index += 1
+                            processed += 1
+                            event._process()
+                            if crashed:
+                                break
+                        if index < nbatch:
+                            # Requeue the unprocessed tail verbatim:
+                            # the original tuples keep their original
+                            # sequence numbers, so relative order
+                            # against everything else is untouched.
+                            for item in batch[index:]:
+                                heappush(queue, item)
+                        if crashed:
+                            process, exc = crashed.pop()
+                            exc.add_note(
+                                f"(unhandled in process {process.name!r}"
+                                f" at t={when:.3f}us)"
+                            )
+                            raise exc
+                        continue
                     self._now = when
                     processed += 1
                     event._process()
@@ -281,6 +346,8 @@ class Simulator:
                 self.events_processed += processed
                 global TOTAL_EVENTS
                 TOTAL_EVENTS += processed
+            if until is not None and self._now < until:
+                self._now = until
             return self._now
         while True:
             when, source = self._select()
@@ -312,6 +379,7 @@ class Simulator:
             normal = self._normal
             queue = self._queue
             heappop = heapq.heappop
+            heappush = heapq.heappush
             try:
                 while process._value is _PENDING:
                     if urgent:
@@ -350,7 +418,42 @@ class Simulator:
                     elif source == 2:
                         event = normal.popleft()[2]
                     else:
-                        event = heappop(queue)[3]
+                        # Same batch drain as run(); additionally stops
+                        # the moment the awaited process completes, so
+                        # later same-instant events stay queued exactly
+                        # as the per-event reference loop leaves them.
+                        first = heappop(queue)
+                        priority = first[1]
+                        batch = [first]
+                        while (queue and queue[0][0] == when
+                               and queue[0][1] == priority):
+                            batch.append(heappop(queue))
+                        self._now = when
+                        index = 0
+                        nbatch = len(batch)
+                        normal_batch = priority == NORMAL
+                        while index < nbatch:
+                            if process._value is not _PENDING:
+                                break
+                            if normal_batch and urgent:
+                                break
+                            event = batch[index][3]
+                            index += 1
+                            processed += 1
+                            event._process()
+                            if crashed:
+                                break
+                        if index < nbatch:
+                            for item in batch[index:]:
+                                heappush(queue, item)
+                        if crashed:
+                            proc, exc = crashed.pop()
+                            exc.add_note(
+                                f"(unhandled in process {proc.name!r} "
+                                f"at t={when:.3f}us)"
+                            )
+                            raise exc
+                        continue
                     self._now = when
                     processed += 1
                     event._process()

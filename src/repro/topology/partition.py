@@ -1,4 +1,13 @@
-"""The OPT scatter algorithm's region partition (paper §5.2).
+"""Torus partitions: OPT scatter regions and PDES shard slabs.
+
+The first half of this module is the OPT scatter algorithm's region
+partition (paper §5.2).  The second half is the spatial shard partition
+used by the parallel simulation engine (:mod:`repro.pdes`): contiguous
+coordinate slabs along the torus's longest axis, plus the cut-link
+enumeration and the conservative-synchronization lookahead bound
+derived from those cut links.
+
+OPT scatter region partition (paper §5.2):
 
 The mesh is partitioned into (up to) ``2 * ndim`` roughly equal-size
 regions, one per link leaving the root.  Every node lands in a region
@@ -137,6 +146,119 @@ def partition_regions(torus: Torus, root: int) -> OptPartition:
     partition = OptPartition(torus, root, regions, region_of, routes)
     partition.validate()
     return partition
+
+
+# ---------------------------------------------------------------------------
+# PDES shard partition (spatial slabs for the parallel engine).
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CutLink:
+    """One torus link whose endpoints live in different shards.
+
+    ``rank``/``direction``/``neighbor`` identify the link exactly as
+    the cluster builder wires it (positive-direction orientation, so
+    each physical cable appears once); ``name`` matches the builder's
+    ``Link.name`` and is the canonical ingress merge key.
+    """
+
+    rank: int
+    direction: Direction
+    neighbor: int
+
+    @property
+    def name(self) -> str:
+        return f"link[{self.rank}{self.direction}{self.neighbor}]"
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Spatial partition of a torus into contiguous coordinate slabs.
+
+    Attributes
+    ----------
+    dims, wrap:
+        The torus geometry the plan was computed for.
+    nshards, axis:
+        Number of shards and the axis the slabs cut (the longest axis;
+        ties break toward the lowest axis index, keeping the plan a
+        pure function of the geometry).
+    assignment:
+        ``assignment[rank]`` is the owning shard id.
+    """
+
+    dims: tuple
+    wrap: bool
+    nshards: int
+    axis: int
+    assignment: tuple
+
+    def shard_of(self, rank: int) -> int:
+        return self.assignment[rank]
+
+    def local_ranks(self, shard_id: int) -> List[int]:
+        """Sorted world ranks owned by ``shard_id``."""
+        return [rank for rank, owner in enumerate(self.assignment)
+                if owner == shard_id]
+
+    def cut_links(self, torus: Torus) -> List[CutLink]:
+        """Links crossing a shard boundary, in builder wiring order."""
+        cuts: List[CutLink] = []
+        for rank in torus.ranks():
+            for direction in torus.directions():
+                if direction.sign < 0:
+                    continue
+                if not torus.has_neighbor(rank, direction):
+                    continue
+                neighbor = torus.neighbor(rank, direction)
+                if self.assignment[rank] != self.assignment[neighbor]:
+                    cuts.append(CutLink(rank, direction, neighbor))
+        return cuts
+
+
+def make_shard_plan(torus: Torus, nshards: int) -> ShardPlan:
+    """Partition ``torus`` into ``nshards`` contiguous slabs.
+
+    The slabs cut the longest axis (most nodes per boundary-free
+    volume, fewest cut links); shard ``k`` owns coordinates
+    ``[floor(k * n / nshards), floor((k + 1) * n / nshards))`` along
+    that axis, so sizes are balanced to within one plane.
+    """
+    if nshards < 1:
+        raise TopologyError(f"need at least 1 shard, got {nshards}")
+    axis = max(range(len(torus.dims)), key=lambda a: torus.dims[a])
+    extent = torus.dims[axis]
+    if nshards > extent:
+        raise TopologyError(
+            f"cannot cut {nshards} slabs from axis {axis} of {torus!r} "
+            f"(extent {extent})"
+        )
+    owner_of_coord = [
+        min(nshards - 1, c * nshards // extent) for c in range(extent)
+    ]
+    assignment = tuple(
+        owner_of_coord[torus.coords(rank)[axis]] for rank in torus.ranks()
+    )
+    return ShardPlan(tuple(torus.dims), torus.wrap, nshards, axis,
+                     assignment)
+
+
+def shard_lookahead(torus: Torus, plan: ShardPlan, gige) -> float:
+    """Conservative-window lookahead for ``plan``'s cut links (us).
+
+    The bound is the minimum wire latency of any cut link — no frame
+    committed to a cut link at time ``t`` can arrive before
+    ``t + lookahead`` — so windows of this length never deliver into a
+    shard's simulated past.  All links share one
+    :class:`~repro.hw.params.GigEParams` today, so this is exactly
+    ``gige.min_wire_latency()``; the per-link minimum is kept explicit
+    so heterogeneous fabrics stay a parameter change, not a redesign.
+    """
+    cuts = plan.cut_links(torus)
+    if not cuts:
+        return float("inf")
+    return min(gige.min_wire_latency() for _ in cuts)
 
 
 def region_send_order(partition: OptPartition) -> Dict[Direction, List[int]]:

@@ -1,0 +1,181 @@
+"""Same-instant batch heap drains must be invisible.
+
+``Simulator.run``'s fast loop pops every heap entry sharing one
+``(time, priority)`` key in a single drain (a step toward the
+structured-array queue ROADMAP names).  These tests pin the edge cases
+against the per-event reference path: dispatch order, urgent
+preemption mid-batch, crash mid-batch, window bounds, and
+``run_until_complete`` stopping mid-batch.
+"""
+
+import pytest
+
+from repro import fastpath
+from repro.errors import SimulationError
+from repro.sim import Simulator
+from repro.sim.events import Callback
+
+
+def _logger(log, item):
+    def fire() -> None:
+        log.append(item)
+    return fire
+
+
+def _run_both(build):
+    """Run ``build(sim, log)`` under both scheduler modes."""
+    outcomes = {}
+    for mode in (False, True):
+        with fastpath.force(mode):
+            sim = Simulator()
+            log = []
+            build(sim, log)
+            sim.run()
+            outcomes[mode] = (log, sim.events_processed, sim.now)
+    return outcomes[False], outcomes[True]
+
+
+class TestBatchOrder:
+    def test_same_instant_callbacks_fire_in_schedule_order(self):
+        def build(sim, log):
+            for i in range(50):
+                Callback(sim, _logger(log, i), at=5.0)
+
+        reference, batched = _run_both(build)
+        assert batched == reference
+        assert batched[0] == list(range(50))
+
+    def test_batches_at_multiple_instants(self):
+        def build(sim, log):
+            for step in range(10):
+                for i in range(8):
+                    Callback(sim, _logger(log, (step, i)),
+                             at=float(step + 1))
+
+        reference, batched = _run_both(build)
+        assert batched == reference
+
+    def test_callback_scheduling_future_batch_member(self):
+        # An event at t=1 adds a new member to the t=2 batch after the
+        # t=2 entries already exist; the drain at t=2 must include it
+        # in sequence order.
+        def build(sim, log):
+            for i in range(3):
+                Callback(sim, _logger(log, ("first", i)), at=2.0)
+            def add_late():
+                log.append("adder")
+                Callback(sim, _logger(log, "late"), at=2.0)
+            Callback(sim, add_late, at=1.0)
+
+        reference, batched = _run_both(build)
+        assert batched == reference
+        assert batched[0] == ["adder", ("first", 0), ("first", 1),
+                              ("first", 2), "late"]
+
+
+class TestBatchPreemption:
+    def test_zero_delay_urgent_preempts_rest_of_batch(self):
+        # Batch member 1 schedules an urgent zero-delay event; the
+        # reference path runs it before batch members 2..4, so the
+        # batched path must break the drain to match.
+        def build(sim, log):
+            def spawn_urgent():
+                log.append("spawner")
+                Callback(sim, _logger(log, "urgent"), delay=0.0,
+                         priority=0)
+            Callback(sim, spawn_urgent, at=3.0)
+            for i in range(3):
+                Callback(sim, _logger(log, ("tail", i)), at=3.0)
+
+        reference, batched = _run_both(build)
+        assert batched == reference
+        assert batched[0].index("urgent") < batched[0].index(("tail", 0))
+
+
+class TestBatchCrash:
+    def test_crash_mid_batch_raises_and_keeps_tail(self):
+        # Scheduling order puts the crashing process's resume between
+        # the two callbacks in the t=1.0 batch (global sequence
+        # numbers: the callback scheduled at t=0.5 sorts last).
+        def crasher(sim):
+            yield sim.timeout(1.0)
+            raise ValueError("mid-batch crash")
+
+        for mode in (False, True):
+            with fastpath.force(mode):
+                sim = Simulator()
+                log = []
+                Callback(sim, _logger(log, 0), at=1.0)
+                sim.spawn(crasher(sim), name="crasher")
+                def add_tail():
+                    Callback(sim, _logger(log, 2), at=1.0)
+                Callback(sim, add_tail, at=0.5)
+                with pytest.raises(ValueError, match="mid-batch crash"):
+                    sim.run()
+                # The event before the crash ran; the one after did not
+                # and is still queued at the crash instant.
+                assert log == [0]
+                assert sim.peek() == 1.0
+
+
+class TestWindowBound:
+    def test_until_splits_batches_exactly(self):
+        with fastpath.force(True):
+            sim = Simulator()
+            log = []
+            for i in range(4):
+                Callback(sim, _logger(log, ("a", i)), at=1.0)
+            for i in range(4):
+                Callback(sim, _logger(log, ("b", i)), at=2.0)
+            sim.run(until=1.5)
+            assert log == [("a", i) for i in range(4)]
+            assert sim.now == 1.5
+            sim.run(until=2.0)
+            assert log[-4:] == [("b", i) for i in range(4)]
+            assert sim.now == 2.0
+
+    def test_until_bound_matches_reference(self):
+        def build_and_run(mode):
+            with fastpath.force(mode):
+                sim = Simulator()
+                log = []
+                for step in range(6):
+                    for i in range(5):
+                        Callback(sim, _logger(log, (step, i)),
+                                 at=float(step))
+                sim.run(until=2.0)
+                first = list(log)
+                sim.run()
+                return first, log, sim.events_processed
+
+        assert build_and_run(True) == build_and_run(False)
+
+
+class TestRunUntilComplete:
+    def test_stop_mid_batch_when_process_finishes(self):
+        # The watched process finishes as part of a same-instant batch;
+        # events after it in the batch must stay runnable and fire on
+        # the next run(), exactly as the reference path leaves them.
+        def finisher(sim, log):
+            yield sim.timeout(1.0)
+            log.append("proc")
+            return "done"
+
+        results = {}
+        for mode in (False, True):
+            with fastpath.force(mode):
+                sim = Simulator()
+                log = []
+                Callback(sim, _logger(log, "before"), at=1.0)
+                proc = sim.spawn(finisher(sim, log), name="finisher")
+                def add_after():
+                    Callback(sim, _logger(log, "after"), at=1.0)
+                Callback(sim, add_after, at=0.5)
+                value = sim.run_until_complete(proc)
+                during = list(log)
+                sim.run()
+                results[mode] = (value, during, log,
+                                 sim.events_processed)
+        assert results[True] == results[False]
+        assert results[True][0] == "done"
+        assert results[True][2] == ["before", "proc", "after"]

@@ -1,0 +1,133 @@
+"""Shard partition, cut-link enumeration and lookahead derivation."""
+
+import pytest
+
+from repro import units
+from repro.errors import TopologyError
+from repro.hw.params import GigEParams
+from repro.topology.partition import (
+    CutLink,
+    make_shard_plan,
+    shard_lookahead,
+)
+from repro.topology.torus import Torus
+
+
+class TestMakeShardPlan:
+    def test_single_shard_owns_everything(self):
+        torus = Torus((2, 2, 2))
+        plan = make_shard_plan(torus, 1)
+        assert plan.nshards == 1
+        assert plan.assignment == (0,) * torus.size
+        assert plan.local_ranks(0) == list(torus.ranks())
+        assert plan.cut_links(torus) == []
+
+    def test_slabs_cut_longest_axis(self):
+        torus = Torus((4, 8, 8))
+        plan = make_shard_plan(torus, 4)
+        # Longest-axis tie (8, 8) breaks to the lowest index: axis 1.
+        assert plan.axis == 1
+        for rank in torus.ranks():
+            coord = torus.coords(rank)[plan.axis]
+            assert plan.shard_of(rank) == coord // 2
+
+    def test_slab_sizes_balanced_within_one_plane(self):
+        torus = Torus((3, 5))
+        plan = make_shard_plan(torus, 2)
+        sizes = [len(plan.local_ranks(s)) for s in range(2)]
+        assert sum(sizes) == torus.size
+        # One plane of the cut axis is 3 nodes.
+        assert abs(sizes[0] - sizes[1]) <= 3
+
+    def test_every_rank_owned_exactly_once(self):
+        torus = Torus((4, 2, 2))
+        plan = make_shard_plan(torus, 4)
+        seen = sorted(
+            rank for s in range(4) for rank in plan.local_ranks(s))
+        assert seen == list(torus.ranks())
+
+    def test_more_shards_than_extent_rejected(self):
+        with pytest.raises(TopologyError, match="cannot cut 4 slabs"):
+            make_shard_plan(Torus((2, 2, 2)), 4)
+
+    def test_zero_shards_rejected(self):
+        with pytest.raises(TopologyError, match="at least 1"):
+            make_shard_plan(Torus((2, 2)), 0)
+
+    def test_plan_is_pure_function_of_geometry(self):
+        a = make_shard_plan(Torus((4, 2, 2)), 2)
+        b = make_shard_plan(Torus((4, 2, 2)), 2)
+        assert a == b
+
+
+class TestCutLinks:
+    def test_cut_links_cross_shards_only(self):
+        torus = Torus((4, 2, 2))
+        plan = make_shard_plan(torus, 2)
+        cuts = plan.cut_links(torus)
+        assert cuts
+        for cut in cuts:
+            assert plan.shard_of(cut.rank) != plan.shard_of(cut.neighbor)
+
+    def test_cut_link_names_match_builder_wiring(self):
+        torus = Torus((4, 2, 2))
+        plan = make_shard_plan(torus, 2)
+        names = {cut.name for cut in plan.cut_links(torus)}
+        # Positive-direction orientation: each physical cable once.
+        assert all(name.startswith("link[") for name in names)
+        assert len(names) == len(plan.cut_links(torus))
+
+    def test_wrap_links_counted(self):
+        # A wrapped 4-ring cut in 2 slabs has 2 cut cables (the middle
+        # one and the wraparound); unwrapped only the middle one.
+        wrapped = Torus((4,), wrap=True)
+        flat = Torus((4,), wrap=False)
+        plan_w = make_shard_plan(wrapped, 2)
+        plan_f = make_shard_plan(flat, 2)
+        assert len(plan_w.cut_links(wrapped)) == 2
+        assert len(plan_f.cut_links(flat)) == 1
+
+    def test_cutlink_is_frozen(self):
+        cut = make_shard_plan(Torus((4,)), 2).cut_links(Torus((4,)))[0]
+        assert isinstance(cut, CutLink)
+        with pytest.raises(AttributeError):
+            cut.rank = 99
+
+
+class TestLookahead:
+    def test_min_wire_latency_derivation(self):
+        # Minimum Ethernet frame: 64 bytes on the wire minus the 18
+        # bytes of L2 header/FCS the payload model excludes, plus the
+        # simulator's per-frame overhead, serialized at 125 B/us, plus
+        # propagation.
+        g = GigEParams()
+        payload = units.ETHERNET_MIN_FRAME - 18
+        expected = (payload + g.frame_overhead) / g.wire_rate
+        expected += g.propagation
+        assert g.min_wire_latency() == pytest.approx(expected)
+
+    def test_pinned_default_value(self):
+        # With the default parameters this is 84/125 + 0.3 = 0.972us;
+        # the conservative window width.  A change here changes every
+        # PDES schedule — it must be deliberate.
+        assert GigEParams().min_wire_latency() == pytest.approx(
+            84 / 125 + 0.3)
+
+    def test_shard_lookahead_uses_cut_links(self):
+        torus = Torus((4, 2, 2))
+        plan = make_shard_plan(torus, 2)
+        assert shard_lookahead(torus, plan, GigEParams()) == (
+            pytest.approx(GigEParams().min_wire_latency()))
+
+    def test_no_cuts_means_infinite_lookahead(self):
+        torus = Torus((4, 2, 2))
+        plan = make_shard_plan(torus, 1)
+        assert shard_lookahead(torus, plan, GigEParams()) == float("inf")
+
+    def test_positive_and_below_any_wire_latency(self):
+        g = GigEParams()
+        lookahead = g.min_wire_latency()
+        assert lookahead > 0
+        # A full-size frame takes strictly longer than the bound.
+        full = (1500 + g.frame_overhead) / g.wire_rate + g.propagation
+        assert lookahead < full
