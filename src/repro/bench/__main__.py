@@ -45,9 +45,9 @@ def _write_profile(path: str, mode: str, profile: dict) -> None:
         handle.write("\n")
 
 
-def _merge_sharded_section(path: str, scaling: dict) -> None:
-    """Write the shard-scaling profile as BENCH_PERF.json's ``sharded``
-    section, preserving whatever the fast-path jobs recorded."""
+def _merge_section(path: str, key: str, value: dict) -> None:
+    """Write ``value`` as BENCH_PERF.json's ``key`` section, preserving
+    whatever the other jobs recorded."""
     data = {}
     if os.path.exists(path):
         try:
@@ -55,7 +55,7 @@ def _merge_sharded_section(path: str, scaling: dict) -> None:
                 data = json.load(handle)
         except (OSError, ValueError):
             data = {}
-    data["sharded"] = scaling
+    data[key] = value
     with open(path, "w") as handle:
         json.dump(data, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -111,13 +111,18 @@ def main(argv=None) -> int:
                              "shards and record the 'sharded' section "
                              "of BENCH_PERF.json (implies --profile "
                              "output for that section)")
+    parser.add_argument("--nic-collectives", action="store_true",
+                        help="run the collective-tier crossover study "
+                             "(host vs kernel vs nic) and record the "
+                             "'nic_collectives' section of "
+                             "BENCH_PERF.json")
     args = parser.parse_args(argv)
     if (not args.experiments and not args.chaos and not args.trace
             and not args.breakdown and not args.shards
-            and not args.shard_scaling):
+            and not args.shard_scaling and not args.nic_collectives):
         parser.error("name at least one experiment (or use --chaos N, "
                      "--trace OUT.json, --breakdown, --shards N, "
-                     "--shard-scaling)")
+                     "--shard-scaling, --nic-collectives)")
 
     if args.trace or args.breakdown:
         from repro.bench import observability as obs_bench
@@ -162,9 +167,18 @@ def main(argv=None) -> int:
                 f"[shard-scaling tables identical: "
                 f"{scaling['tables_identical']}]\n\n"
             )
-            _merge_sharded_section("BENCH_PERF.json", scaling)
+            _merge_section("BENCH_PERF.json", "sharded", scaling)
         if (not args.experiments and not args.chaos and not args.trace
-                and not args.breakdown):
+                and not args.breakdown and not args.nic_collectives):
+            return 0
+
+    if args.nic_collectives:
+        from repro.bench.nic_collectives import run_study
+
+        result, section = run_study(quick=args.quick)
+        sys.stdout.write(result.csv() if args.csv else result.render())
+        _merge_section("BENCH_PERF.json", "nic_collectives", section)
+        if not args.experiments and not args.chaos:
             return 0
 
     if args.chaos:

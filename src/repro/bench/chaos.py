@@ -17,6 +17,9 @@ scatter    one-to-all personalized scatters (``opt`` scheduler)
 allgather  all-to-all collection rounds
 lqcd-cg    a CG-solver communication skeleton: halo exchanges with the
            six torus neighbors plus one global combine per iteration
+nic-       NIC-resident collectives (``nic`` tier): allreduce rounds
+collective with periodic broadcasts and barriers running entirely in
+           the NIC firmware state machine
 ========== ===========================================================
 
 Every campaign asserts the full fault-tolerance contract:
@@ -135,6 +138,28 @@ def _wl_lqcd_cg(comm, iterations: int = 15):
         yield from comm.allreduce(nbytes=8)  # residual norm
 
 
+def _wl_nic_collective(comm, rounds: int = 40):
+    """NIC-tier collectives under fire: the crash must surface through
+    the NIC engine's fault path (dead-peer abort -> ULFM), not hang the
+    firmware state machine."""
+    comm.set_collective_tier("nic")
+    try:
+        for i in range(rounds):
+            yield from comm.allreduce(nbytes=64,
+                                      data=float(comm.rank + 1))
+            if i % 5 == 0:
+                yield from comm.bcast(root=i % comm.size, nbytes=256)
+            if i % 7 == 0:
+                yield from comm.barrier()
+    finally:
+        # The post-crash recovery collectives (agree/shrink/verify) run
+        # on the shrunken communicator, which is host-tier by
+        # construction — but reset this comm too for symmetry.
+        comm.set_collective_tier("host")
+
+
+_wl_nic_collective.needs_nic_engine = True
+
 SCENARIOS: Dict[str, Callable] = {
     "pt2pt": _wl_pt2pt,
     "bcast": _wl_bcast,
@@ -142,6 +167,7 @@ SCENARIOS: Dict[str, Callable] = {
     "scatter": _wl_scatter,
     "allgather": _wl_allgather,
     "lqcd-cg": _wl_lqcd_cg,
+    "nic-collective": _wl_nic_collective,
 }
 
 
@@ -219,6 +245,9 @@ def _run_once(scenario: str, victim: int, crash_at: float):
     )
     cluster.sim.trace = Trace()
     comms = build_world(cluster)
+    if getattr(SCENARIOS[scenario], "needs_nic_engine", False):
+        for node in cluster.nodes:
+            node.via.enable_nic_collectives()
     program = _resilient(cluster, SCENARIOS[scenario])
     results = run_mpi(cluster, program, comms=comms, limit=LIMIT_US)
     return results, cluster.sim.trace, cluster

@@ -72,6 +72,11 @@ class GigEPort:
         self._irq_timer_deadline: Optional[float] = None
         self._irq_timer_cb: Optional[TrainCallback] = None
         self._driver: Optional[Callable[[Frame], Generator]] = None
+        #: NIC-resident collective engine hook (hw.nic_collective),
+        #: consulted in the rx stage before any receive descriptor is
+        #: consumed.  A True return means the frame was consumed
+        #: entirely inside the NIC: no credit, no DMA, no interrupt.
+        self.collective_hook: Optional[Callable[[Frame], bool]] = None
         #: Frames hidden inside queued FrameTrains (ring-level parity).
         self._tx_extra = 0
         #: Residue of the last committed train (see hw.fastpath).
@@ -80,6 +85,7 @@ class GigEPort:
             "tx_frames": 0, "rx_frames": 0, "interrupts": 0,
             "tx_bytes": 0, "rx_bytes": 0, "rx_stalls": 0,
             "trains": 0, "train_frames": 0, "train_fallbacks": 0,
+            "nic_rx": 0, "nic_tx": 0,
         }
         for _ in range(params.rx_ring):
             self.rx_credits.items.append(1)
@@ -196,6 +202,27 @@ class GigEPort:
         if not (sim._fast and fifo.try_put(frame)):
             yield fifo.put(frame)
 
+    def nic_inject_tx(self, frame: Frame):
+        """Process: transmit a NIC-originated frame (no descriptor).
+
+        Collective frames the NIC firmware emits were never posted by
+        the host, so there is no descriptor fetch and no DMA — the
+        frame materializes directly in the on-board transmit FIFO
+        (honoring the committed-train residue backpressure exactly
+        like the fetch stage) and the wire stage treats it like any
+        other frame.
+        """
+        sim = self.sim
+        fifo = self._tx_fifo
+        virt = self._virt
+        if virt is not None:
+            while (len(fifo.items) + virt.occupancy(sim._now)
+                    >= fifo.capacity and virt.free_at):
+                yield sim.sleep_until(virt.free_at[0])
+        self.stats["nic_tx"] += 1
+        if not (sim._fast and fifo.try_put(frame)):
+            yield fifo.put(frame)
+
     def _tx_wire_loop(self):
         params = self.params
         sim = self.sim
@@ -269,6 +296,12 @@ class GigEPort:
             if frame is None:
                 frame = yield arrivals.get()
             yield sim.timeout(params.rx_proc)
+            hook = self.collective_hook
+            if hook is not None and hook(frame):
+                # Collective frame handled by the NIC engine: it never
+                # touches the host (no descriptor, DMA or interrupt).
+                self.stats["nic_rx"] += 1
+                continue
             if len(credits) == 0:
                 self.stats["rx_stalls"] += 1
                 yield credits.get()

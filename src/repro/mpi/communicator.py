@@ -72,6 +72,10 @@ class Communicator:
         #: the same order — the usual MPI collective-call discipline —
         #: so counters stay synchronized without negotiation).
         self._agree_seq = 0
+        #: Collective execution tier: ``"host"`` (user-level trees),
+        #: ``"kernel"`` (interrupt-level engine) or ``"nic"``
+        #: (NIC-resident engine).  See :meth:`set_collective_tier`.
+        self._coll_tier = "host"
 
     # -- contexts ----------------------------------------------------------
     @property
@@ -290,6 +294,86 @@ class Communicator:
                 self._ft_members = members
             request.ft_members = members
 
+    # -- collective tier selection ---------------------------------------------
+    COLLECTIVE_TIERS = ("host", "kernel", "nic")
+
+    @property
+    def collective_tier(self) -> str:
+        """Active collective execution tier (``host|kernel|nic``)."""
+        return self._coll_tier
+
+    def set_collective_tier(self, tier: str) -> str:
+        """Route barrier/bcast/reduce/allreduce through ``tier``.
+
+        ``"host"`` is the default user-level tree implementation.
+        ``"kernel"`` and ``"nic"`` require the whole-torus communicator
+        and the matching engine enabled on this rank's device
+        (:meth:`~repro.via.device.ViaDevice.enable_kernel_collectives`
+        / :meth:`~repro.via.device.ViaDevice.enable_nic_collectives`).
+        Collectives without an offloaded equivalent (scatter, gather,
+        allgather) always run on the host tier.
+        """
+        if tier not in self.COLLECTIVE_TIERS:
+            raise MpiError(
+                f"unknown collective tier {tier!r} "
+                f"(have: {', '.join(self.COLLECTIVE_TIERS)})"
+            )
+        if tier != "host":
+            if not self.is_whole_torus:
+                raise MpiError(
+                    f"rank {self.rank}: {tier} collectives need the "
+                    f"whole-torus communicator (offload trees are mesh "
+                    f"geometry)"
+                )
+            device = getattr(self.engine, "device", None)
+            attr = ("kernel_collective" if tier == "kernel"
+                    else "nic_collective")
+            if device is None or getattr(device, attr, None) is None:
+                raise MpiError(
+                    f"rank {self.rank}: {tier} collectives not enabled "
+                    f"on this node's device (call enable_"
+                    f"{'kernel' if tier == 'kernel' else 'nic'}"
+                    f"_collectives first)"
+                )
+        self._coll_tier = tier
+        return tier
+
+    def _offload_collective(self, mode: str, root: int, nbytes: int,
+                            op: Optional[Op], data: Any):
+        """Process: one collective on the kernel or NIC engine.
+
+        A mid-collective death surfaces from the offload engines as
+        :class:`~repro.errors.ViaError`; re-checking the failure state
+        translates it to the ULFM ``MpiProcFailed`` contract whenever a
+        group member is known dead (the death callbacks run before the
+        waiter resumes, so the engine's dead set is already updated).
+        """
+        self._check_ft_collective()
+        device = self.engine.device
+        tier = self._coll_tier
+        try:
+            if tier == "kernel":
+                engine = device.kernel_collective
+                if mode == "bcast":
+                    # NULL combine is None-transparent, so the root's
+                    # payload is the unique non-None subtree value.
+                    result = yield from engine.global_sum(
+                        data if self.rank == root else None, NULL,
+                        nbytes=nbytes)
+                else:
+                    result = yield from engine.global_sum(
+                        data, op, nbytes=nbytes)
+                    if mode == "reduce" and self.rank != root:
+                        result = None
+            else:
+                engine = device.nic_collective
+                result = yield from engine.collective(
+                    mode, root, data, op, nbytes)
+        except ViaError:
+            self._check_ft_collective()
+            raise
+        return result
+
     # -- collectives ----------------------------------------------------------
     def bcast(self, root: int = 0, nbytes: Optional[int] = None,
               count: Optional[int] = None, datatype: Datatype = BYTE,
@@ -298,6 +382,10 @@ class Communicator:
         from repro.collectives import broadcast
 
         size = _resolve_bytes(nbytes, count, datatype)
+        if self._coll_tier != "host" and self.is_whole_torus:
+            result = yield from self._offload_collective(
+                "bcast", root, size, None, data)
+            return result
         result = yield from broadcast.bcast(self, root, size, data)
         return result
 
@@ -308,6 +396,10 @@ class Communicator:
         from repro.collectives import reduce as reduce_mod
 
         size = _resolve_bytes(nbytes, count, datatype)
+        if self._coll_tier != "host" and self.is_whole_torus:
+            result = yield from self._offload_collective(
+                "reduce", root, size, op, data)
+            return result
         result = yield from reduce_mod.reduce(self, root, size, op, data)
         return result
 
@@ -318,6 +410,10 @@ class Communicator:
         from repro.collectives import combine
 
         size = _resolve_bytes(nbytes, count, datatype)
+        if self._coll_tier != "host" and self.is_whole_torus:
+            result = yield from self._offload_collective(
+                "combine", 0, size, op, data)
+            return result
         result = yield from combine.allreduce(self, size, op, data)
         return result
 
@@ -326,6 +422,10 @@ class Communicator:
         (paper section 5.2)."""
         from repro.collectives import combine
 
+        if self._coll_tier != "host" and self.is_whole_torus:
+            yield from self._offload_collective("combine", 0, 0, NULL,
+                                                None)
+            return
         yield from combine.allreduce(self, 0, NULL, None)
 
     def scatter(self, root: int = 0, nbytes: Optional[int] = None,

@@ -53,6 +53,10 @@ WIRE_HOP = "wire-hop"            # serialization + propagation on a link
 SWITCH_FORWARD = "switch-forward"  # store-and-forward relay at a hop
 IRQ_WAIT = "irq-wait"            # rx DMA done -> IRQ handler entry
 COMPLETION = "completion"        # instant: descriptor completed/failed
+# NIC-resident collective stages (the host-side terms they replace —
+# api-call syscalls, irq-wait per hop — simply do not occur).
+NIC_FORWARD = "nic-forward"      # NIC firmware tx of a collective frame
+NIC_COMBINE = "nic-combine"      # NIC firmware reduce/combine step
 
 # Reliability event kinds (instants).
 RETRANSMIT = "retransmit"
@@ -62,7 +66,8 @@ DROP = "drop"
 
 SPAN_KINDS = (
     MESSAGE, API_CALL, DESC_QUEUED, DMA, WIRE_HOP, SWITCH_FORWARD,
-    IRQ_WAIT, COMPLETION, RETRANSMIT, ACK, TIMEOUT, DROP,
+    IRQ_WAIT, COMPLETION, NIC_FORWARD, NIC_COMBINE, RETRANSMIT, ACK,
+    TIMEOUT, DROP,
 )
 
 

@@ -110,6 +110,8 @@ class ShardRuntime:
             self.engines[rank] = engine
             self.comms[rank] = Communicator(engine, world, WORLD_CONTEXT,
                                             torus=torus)
+        if self.workload.setup is not None:
+            self.workload.setup(self.cluster, self.comms)
         edges = set(self.workload.edges(torus))
         edges.update(tree_edges(torus))
         self._edges = sorted(edges)

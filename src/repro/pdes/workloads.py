@@ -33,7 +33,7 @@ exchange used for the shard-scaling benchmark.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.collectives.tree import dimension_order_parent
 from repro.errors import ConfigurationError
@@ -86,6 +86,13 @@ class Workload:
     edges: Callable[[Torus], Iterable[Edge]]
     program: Callable
     reduce: Callable[[Torus, Dict[int, object]], dict]
+    #: Optional ``setup(cluster, comms)`` hook the shard runtime calls
+    #: after building engines/communicators but before spawning the
+    #: per-rank drivers — for workloads that need device-level
+    #: enablement (e.g. the NIC collective engine).  It runs once per
+    #: shard with that shard's local comms only, so it must key off the
+    #: cluster's non-``None`` nodes.
+    setup: Optional[Callable] = None
 
 
 # -- pingpong (fig. 2 style latency) ------------------------------------
@@ -153,6 +160,37 @@ def _collective_reduce(torus: Torus, per_rank: Dict[int, object]) -> dict:
     }
 
 
+# -- nic-collective (NIC-resident global combine) -----------------------
+
+def _nic_collective_setup(cluster, comms) -> None:
+    for node in cluster.nodes:
+        if node is not None:
+            node.via.enable_nic_collectives()
+    for comm in comms.values():
+        comm.set_collective_tier("nic")
+
+
+def _nic_collective_program(comm, torus: Torus, nbytes: int = 256,
+                            repeats: int = 3):
+    sim = comm.engine.sim
+    start = sim.now
+    total = 0.0
+    for _ in range(repeats):
+        value = yield from comm.allreduce(nbytes=nbytes,
+                                          data=float(comm.rank + 1))
+        total += value
+    return (round(total, 6), round(sim.now - start, 6))
+
+
+def _nic_collective_reduce(torus: Torus,
+                           per_rank: Dict[int, object]) -> dict:
+    return {
+        "workload": "nic-collective",
+        "sums": [per_rank[rank][0] for rank in sorted(per_rank)],
+        "elapsed_us": [per_rank[rank][1] for rank in sorted(per_rank)],
+    }
+
+
 # -- aggregate (fig. 4/5 style all-neighbor exchange) -------------------
 
 def _aggregate_program(comm, torus: Torus, nbytes: int = 4096,
@@ -191,6 +229,10 @@ WORKLOADS: Dict[str, Workload] = {
                            _collective_program, _collective_reduce),
     "aggregate": Workload("aggregate", neighbor_edges,
                           _aggregate_program, _aggregate_reduce),
+    "nic-collective": Workload("nic-collective", _collective_edges,
+                               _nic_collective_program,
+                               _nic_collective_reduce,
+                               setup=_nic_collective_setup),
 }
 
 

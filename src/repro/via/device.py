@@ -70,6 +70,9 @@ class ViaDevice:
         #: Interrupt-level collective engine (paper section 7 future
         #: work); created by :meth:`enable_kernel_collectives`.
         self.kernel_collective = None
+        #: NIC-resident collective engine (Yu et al. offload); created
+        #: by :meth:`enable_nic_collectives`.
+        self.nic_collective = None
         #: Reliable delivery: explicit knob, else automatic — engage
         #: exactly when some attached link can *lose* frames (the
         #: legacy ``corrupt_every`` detect-and-drop knob deliberately
@@ -94,11 +97,56 @@ class ViaDevice:
             port.set_driver(driver)
 
     def enable_kernel_collectives(self, root: int = 0):
-        """Inject the reduction tree into the kernel (section 7)."""
+        """Inject the reduction tree into the kernel (section 7).
+
+        Idempotent for the same ``root``.  Re-enabling with a different
+        root (which used to silently clobber the engine and orphan its
+        in-flight state) and mixing offload tiers on one device (both
+        engines would claim the same collective traffic) raise instead.
+        """
         from repro.via.kernel_collective import KernelCollective
 
+        if self.nic_collective is not None:
+            raise ViaError(
+                f"node {self.rank}: kernel collectives requested but "
+                f"NIC collectives are already enabled (offload tiers "
+                f"are mutually exclusive per device)"
+            )
+        existing = self.kernel_collective
+        if existing is not None:
+            if existing.root != root:
+                raise ViaError(
+                    f"node {self.rank}: kernel collectives already "
+                    f"enabled with root {existing.root}; refusing to "
+                    f"silently re-root to {root}"
+                )
+            return existing
         self.kernel_collective = KernelCollective(self, root=root)
         return self.kernel_collective
+
+    def enable_nic_collectives(self):
+        """Load the NIC-resident collective engine onto every port.
+
+        Installs the :class:`~repro.hw.nic_collective.NicCollective`
+        firmware hook on each attached GigE port so collective frames
+        are consumed at wire level.  Idempotent; mutually exclusive
+        with :meth:`enable_kernel_collectives`.
+        """
+        from repro.hw.nic_collective import NicCollective
+
+        if self.kernel_collective is not None:
+            raise ViaError(
+                f"node {self.rank}: NIC collectives requested but "
+                f"kernel collectives are already enabled (offload "
+                f"tiers are mutually exclusive per device)"
+            )
+        if self.nic_collective is not None:
+            return self.nic_collective
+        engine = NicCollective(self)
+        self.nic_collective = engine
+        for port in self.ports.values():
+            port.collective_hook = engine.handle_rx
+        return engine
 
     # -- user-facing object factory ---------------------------------------------
     def create_protection_tag(self) -> ProtectionTag:

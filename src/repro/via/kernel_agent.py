@@ -22,7 +22,7 @@ from repro.obs.recorder import IRQ_WAIT as _IRQ_WAIT, \
     SWITCH_FORWARD as _SWITCH_FORWARD
 from repro.sim import Store
 from repro.via.descriptors import RecvDescriptor
-from repro.via.packet import PacketKind, ViaPacket
+from repro.via.packet import NIC_COLLECTIVE_KINDS, PacketKind, ViaPacket
 from repro.via.reliability import ReliableChannel
 from repro.via.vi import VI, ViState
 
@@ -321,6 +321,17 @@ class KernelAgent:
                     self.stats["dead_notices_received"] += 1
                     dead_rank, reason = packet.payload
                     self.on_peer_dead(dead_rank, f"notice: {reason}")
+                elif packet.kind in NIC_COLLECTIVE_KINDS:
+                    # A NIC-collective frame reached the host rx path:
+                    # this node has no NIC engine installed while a
+                    # peer is running the offloaded protocol.  Fail
+                    # loudly instead of silently eating the frame and
+                    # hanging the sender's collective.
+                    raise ViaError(
+                        f"node {self.device.rank}: received "
+                        f"{packet.kind.value} frame but NIC "
+                        f"collectives are not enabled on this node"
+                    )
         finally:
             # Recycle the ring descriptor this frame consumed.
             port.post_rx_descriptors(1)
@@ -675,6 +686,8 @@ class KernelAgent:
                 ))
         if device.kernel_collective is not None:
             device.kernel_collective.on_peer_dead(dead_rank, reason)
+        if device.nic_collective is not None:
+            device.nic_collective.on_peer_dead(dead_rank, reason)
         for callback in list(self.death_callbacks):
             callback(dead_rank)
 
@@ -696,6 +709,8 @@ class KernelAgent:
             wake.succeed(None)
         if device.kernel_collective is not None:
             device.kernel_collective.on_local_crash(reason)
+        if device.nic_collective is not None:
+            device.nic_collective.on_local_crash(reason)
         for callback in list(self.death_callbacks):
             callback(device.rank)
 

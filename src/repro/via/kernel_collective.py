@@ -29,6 +29,10 @@ from repro.collectives.tree import (
 )
 from repro.errors import ViaError
 from repro.hw.node import PRIO_USER
+from repro.obs.recorder import (
+    API_CALL as _API_CALL,
+    COMPLETION as _COMPLETION,
+)
 from repro.via.packet import PacketKind, ViaPacket
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -45,7 +49,7 @@ class _OpState:
     """Per-reduction in-flight state on one node."""
 
     __slots__ = ("partial", "pending", "have_local", "children_seen",
-                 "waiter", "op", "nbytes")
+                 "waiter", "op", "nbytes", "trace")
 
     def __init__(self) -> None:
         self.partial: Any = None
@@ -57,6 +61,7 @@ class _OpState:
         self.waiter = None
         self.op: Optional[Callable] = None
         self.nbytes = 0
+        self.trace = None
 
 
 class KernelCollective:
@@ -128,10 +133,19 @@ class KernelCollective:
         state.waiter = self.sim.event(name=f"kcoll[{self.device.rank}]")
         self.stats["reductions"] += 1
         self._check_alive()
+        rec = self.sim.recorder
+        if rec is not None:
+            state.trace = rec.start_trace(
+                f"kcoll-{sequence}", f"n{self.device.rank}",
+                self.sim.now)
+            t0 = self.sim.now
         # Depositing the contribution crosses into the kernel.
         yield from self.device.host.cpu_work(
             self.device.host.params.syscall_cost, PRIO_USER
         )
+        if rec is not None:
+            rec.span(state.trace, _API_CALL, "kcoll-deposit",
+                     f"n{self.device.rank}", t0, self.sim.now)
         self._contribute_local(sequence, value)
         result = yield state.waiter
         del self._ops[sequence]
@@ -174,7 +188,7 @@ class KernelCollective:
         else:
             self.sim.spawn(
                 self._send(PacketKind.REDUCE, self.parent, sequence,
-                           state.partial, state.nbytes),
+                           state.partial, state.nbytes, state.trace),
                 name=f"kreduce[{self.device.rank}]",
             )
 
@@ -189,9 +203,13 @@ class KernelCollective:
         for child in self.children:
             self.sim.spawn(
                 self._send(PacketKind.CBCAST, child, sequence, value,
-                           state.nbytes or 8),
+                           state.nbytes or 8, state.trace),
                 name=f"kcbcast[{self.device.rank}]",
             )
+        rec = self.sim.recorder
+        if rec is not None and state.trace is not None:
+            rec.event(state.trace, _COMPLETION, "kcoll",
+                      f"n{self.device.rank}", self.sim.now)
         if state.waiter is None:
             # Impossible in a correct collective: the root only
             # broadcasts after every node contributed, and contributing
@@ -204,7 +222,7 @@ class KernelCollective:
         state.waiter.succeed(value)
 
     def _send(self, kind: PacketKind, dst: int, sequence: int,
-              value: Any, nbytes: int):
+              value: Any, nbytes: int, trace=None):
         """Process: one kernel-level collective packet."""
         device = self.device
         try:
@@ -222,6 +240,8 @@ class KernelCollective:
             payload_bytes=nbytes,
             payload=(sequence, value),
         ).seal()
+        if self.sim.recorder is not None:
+            packet.trace = trace
         from repro.hw.link import Frame
 
         frame = Frame(nbytes, device.params.header_bytes,

@@ -33,6 +33,17 @@ class PacketKind(enum.Enum):
     ACK = "ack"                # reliable-delivery cumulative ACK
     KEEPALIVE = "keepalive"    # failure-detector neighbor heartbeat
     DEADNOTICE = "deadnotice"  # failure-detector death gossip
+    NIC_REDUCE = "nic_reduce"  # NIC-resident partial reduction
+    NIC_CBCAST = "nic_cbcast"  # NIC-resident result/broadcast wave
+    NIC_ACK = "nic_ack"        # NIC-resident go-back-N cumulative ACK
+
+
+#: Wire kinds owned by the NIC-resident collective engine
+#: (:mod:`repro.hw.nic_collective`): the port-level hook consumes them
+#: before the host rx path; a node without the engine rejects them.
+NIC_COLLECTIVE_KINDS = (
+    PacketKind.NIC_REDUCE, PacketKind.NIC_CBCAST, PacketKind.NIC_ACK,
+)
 
 
 @dataclass

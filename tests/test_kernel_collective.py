@@ -85,6 +85,42 @@ def test_kernel_faster_than_user_level():
     assert kernel < user
 
 
+def test_enable_idempotent_same_root():
+    """Re-enabling with the same root returns the existing engine —
+    no silent replacement of in-flight state."""
+    cluster = build_mesh((2, 2))
+    first = cluster.nodes[0].via.enable_kernel_collectives(root=0)
+    again = cluster.nodes[0].via.enable_kernel_collectives(root=0)
+    assert again is first
+
+
+def test_enable_different_root_rejected():
+    """Changing the root used to silently clobber the engine (and any
+    in-flight reduction state with it); now it is a hard error."""
+    cluster = build_mesh((2, 2))
+    cluster.nodes[0].via.enable_kernel_collectives(root=0)
+    with pytest.raises(ViaError, match="re-root"):
+        cluster.nodes[0].via.enable_kernel_collectives(root=1)
+
+
+def test_offload_tiers_mutually_exclusive():
+    """One device runs one offload engine: kernel and NIC collectives
+    cannot coexist (both would claim the same wire traffic)."""
+    cluster = build_mesh((2, 2))
+    cluster.nodes[0].via.enable_kernel_collectives(root=0)
+    with pytest.raises(ViaError, match="mutually exclusive"):
+        cluster.nodes[0].via.enable_nic_collectives()
+    cluster.nodes[1].via.enable_nic_collectives()
+    with pytest.raises(ViaError, match="mutually exclusive"):
+        cluster.nodes[1].via.enable_kernel_collectives(root=0)
+
+
+def test_nic_enable_idempotent():
+    cluster = build_mesh((2, 2))
+    first = cluster.nodes[0].via.enable_nic_collectives()
+    assert cluster.nodes[0].via.enable_nic_collectives() is first
+
+
 def test_packet_without_enablement_rejected():
     cluster = build_mesh((2, 2))
     comms = build_world(cluster)
@@ -101,4 +137,23 @@ def test_packet_without_enablement_rejected():
         return None
 
     with pytest.raises(ViaError):
+        run_mpi(cluster, program, comms=comms)
+
+
+def test_nic_packet_without_enablement_rejected():
+    """A NIC collective frame arriving at a node without the engine is
+    a configuration error, not silent host-path traffic."""
+    cluster = build_mesh((2, 2))
+    comms = build_world(cluster)
+    cluster.nodes[1].via.enable_nic_collectives()
+
+    def program(comm):
+        if comm.rank == 1:
+            comm.set_collective_tier("nic")
+            yield from comm.allreduce(nbytes=8, data=1.0)
+        else:
+            yield comm.engine.sim.timeout(1e6)
+        return None
+
+    with pytest.raises(ViaError, match="NIC collectives are not"):
         run_mpi(cluster, program, comms=comms)

@@ -99,6 +99,52 @@ def test_collectives_raise_instead_of_hanging():
             assert what in ("MpiProcFailed", "MpiRevoked")
 
 
+def test_nic_collective_crash_raises_everywhere():
+    """A node dying mid-NIC-collective surfaces as ``MpiProcFailed``
+    on every group member — the NIC state machine aborts its waiters
+    through the ULFM path instead of wedging."""
+    cluster = _faulty_mesh(victim=2, crash_at=200.0)
+    comms = build_world(cluster)
+    for node in cluster.nodes:
+        node.via.enable_nic_collectives()
+
+    def program(comm):
+        comm.set_collective_tier("nic")
+        try:
+            for i in range(60):
+                yield from comm.allreduce(nbytes=64,
+                                          data=float(comm.rank + 1))
+                if i % 4 == 0:
+                    yield from comm.barrier()
+            return "finished"
+        except FAILURES as exc:
+            return type(exc).__name__
+
+    results = run_mpi(cluster, program, comms=comms, limit=100_000.0)
+    assert results[2] == "MpiProcFailed"
+    for rank, what in enumerate(results):
+        if rank != 2:
+            # ULFM contract: the death is visible as a process-failure
+            # error on every member, never a hang (run_mpi returning
+            # within the limit proves no rank wedged).
+            assert what == "MpiProcFailed", (rank, what)
+    # The engines hold no leaked in-flight state after the abort.
+    for rank, node in enumerate(cluster.nodes):
+        if cluster.node_alive(rank):
+            assert node.via.nic_collective._ops == {}
+
+
+def test_nic_collective_chaos_scenario_recovers():
+    """The nic-collective chaos scenario drives the full ULFM cycle
+    (crash -> abort -> revoke -> agree -> shrink -> verify) over
+    NIC-tier traffic, deterministically."""
+    outcome = chaos.run_campaign(0, fault_seed=5,
+                                 scenario="nic-collective")
+    assert outcome.deterministic
+    if outcome.crash_landed:
+        assert outcome.survivors == 7
+
+
 def test_revoke_poisons_all_ranks():
     cluster = _faulty_mesh(victim=7, crash_at=200.0)
     comms = build_world(cluster)
