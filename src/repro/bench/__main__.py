@@ -89,6 +89,15 @@ def main(argv=None) -> int:
                         metavar="SEED",
                         help="seed for the deterministic fault streams "
                              "(same seed => identical fault schedule)")
+    parser.add_argument("--chaos-scenario", default=None,
+                        metavar="NAME",
+                        help="pin every --chaos campaign to one "
+                             "scenario (e.g. checkpoint-resume) "
+                             "instead of the seeded rotation")
+    parser.add_argument("--ckpt-profile", action="store_true",
+                        help="measure window-checkpoint overhead on "
+                             "the quick sharded suite and record the "
+                             "'checkpoint' section of BENCH_PERF.json")
     parser.add_argument("--trace", metavar="OUT.json", default=None,
                         help="run an 8-node fig5-style collective with "
                              "the flight recorder on and write a "
@@ -119,10 +128,12 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if (not args.experiments and not args.chaos and not args.trace
             and not args.breakdown and not args.shards
-            and not args.shard_scaling and not args.nic_collectives):
+            and not args.shard_scaling and not args.nic_collectives
+            and not args.ckpt_profile):
         parser.error("name at least one experiment (or use --chaos N, "
                      "--trace OUT.json, --breakdown, --shards N, "
-                     "--shard-scaling, --nic-collectives)")
+                     "--shard-scaling, --nic-collectives, "
+                     "--ckpt-profile)")
 
     if args.trace or args.breakdown:
         from repro.bench import observability as obs_bench
@@ -181,12 +192,22 @@ def main(argv=None) -> int:
         if not args.experiments and not args.chaos:
             return 0
 
+    if args.ckpt_profile:
+        from repro.bench.ckpt import overhead_profile, render_profile
+
+        section = overhead_profile()
+        sys.stdout.write(render_profile(section))
+        _merge_section("BENCH_PERF.json", "checkpoint", section)
+        if not args.experiments and not args.chaos:
+            return 0
+
     if args.chaos:
         from repro.bench.chaos import run_chaos
         from repro.hw import faults as fault_registry
 
         fault_registry.clear_registry()
-        result = run_chaos(args.chaos, fault_seed=args.fault_seed)
+        result = run_chaos(args.chaos, fault_seed=args.fault_seed,
+                           scenario=args.chaos_scenario)
         sys.stdout.write(result.csv() if args.csv else result.render())
         fault_registry.clear_registry()
         if not args.experiments:

@@ -20,6 +20,10 @@ lqcd-cg    a CG-solver communication skeleton: halo exchanges with the
 nic-       NIC-resident collectives (``nic`` tier): allreduce rounds
 collective with periodic broadcasts and barriers running entirely in
            the NIC firmware state machine
+checkpoint a PDES crash-resume drill: kill one shard at a CRC32-seeded
+-resume    window, recover from the window-boundary checkpoint log by
+           replay, and assert the resumed output is bit-identical to
+           an unperturbed reference run (see :mod:`repro.ckpt`)
 ========== ===========================================================
 
 Every campaign asserts the full fault-tolerance contract:
@@ -170,6 +174,22 @@ SCENARIOS: Dict[str, Callable] = {
     "nic-collective": _wl_nic_collective,
 }
 
+#: The shard-crash/resume drill (no node faults; PDES runs are
+#: fault-free by construction, so it lives outside SCENARIOS).
+CKPT_SCENARIO = "checkpoint-resume"
+
+#: Campaign rotation: every traffic scenario plus the resume drill.
+ALL_SCENARIOS = sorted(list(SCENARIOS) + [CKPT_SCENARIO])
+
+#: Small fast sharded configs the resume drill draws from
+#: (dims, nshards, workload); each completes in a few hundred windows.
+_CKPT_CONFIGS = (
+    ((2, 2, 2), 2, "collective"),
+    ((4, 2, 2), 2, "aggregate"),
+    ((3, 3), 3, "collective"),
+    ((2, 2, 2), 2, "pingpong"),
+)
+
 
 # -- the resilient program ----------------------------------------------------
 def _resilient(cluster, workload):
@@ -253,11 +273,74 @@ def _run_once(scenario: str, victim: int, crash_at: float):
     return results, cluster.sim.trace, cluster
 
 
+def _run_checkpoint_resume(index: int, fault_seed: int) -> CampaignOutcome:
+    """The ``checkpoint-resume`` drill: shard kill -> replay -> identity.
+
+    Draws a sharded config, a victim shard, and a kill window from the
+    campaign's CRC32-derived stream; runs an unperturbed reference,
+    then the same run with the victim killed at the drawn window and
+    recovered from the checkpoint log.  The recovered run must be
+    bit-identical (table and per-rank results) and must have recovered
+    exactly once; the determinism bit reruns the perturbed run.
+    """
+    from repro.pdes import CheckpointPolicy, run_sharded
+
+    state = _mix(fault_seed, index, CKPT_SCENARIO)
+    state, draw = _rand(state)
+    dims, nshards, workload = _CKPT_CONFIGS[draw % len(_CKPT_CONFIGS)]
+    reference = run_sharded(dims, workload=workload, nshards=nshards)
+    state, draw = _rand(state)
+    kill_window = draw % max(reference.windows, 1)
+    state, draw = _rand(state)
+    victim = draw % nshards
+    label = (f"campaign {index} ({CKPT_SCENARIO}, shard {victim} "
+             f"@ window {kill_window})")
+
+    def perturbed_run():
+        policy = CheckpointPolicy(every=16,
+                                  chaos_kill=(victim, kill_window))
+        return run_sharded(dims, workload=workload, nshards=nshards,
+                           checkpoint=policy)
+
+    perturbed = perturbed_run()
+    if perturbed.recoveries != 1:
+        raise BenchmarkError(
+            f"{label}: expected exactly one shard recovery, got "
+            f"{perturbed.recoveries}"
+        )
+    if repr(perturbed.table) != repr(reference.table) \
+            or perturbed.per_rank != reference.per_rank \
+            or perturbed.events_processed != reference.events_processed:
+        raise BenchmarkError(
+            f"{label}: resumed output differs from the unperturbed "
+            f"reference"
+        )
+    second = perturbed_run()
+    deterministic = (repr(second.table) == repr(perturbed.table)
+                     and second.recoveries == 1
+                     and second.windows == perturbed.windows)
+    if not deterministic:
+        raise BenchmarkError(f"{label}: differs across reruns")
+    return CampaignOutcome(
+        index=index, scenario=CKPT_SCENARIO, victim=victim,
+        crash_at=float(kill_window), crash_landed=True,
+        survivors=nshards, finish_us=round(perturbed.now, 1),
+        trace_events=perturbed.events_processed,
+        deterministic=deterministic,
+    )
+
+
 def run_campaign(index: int, fault_seed: int,
                  scenario: Optional[str] = None) -> CampaignOutcome:
     """Run (twice, for the determinism check) and verify one campaign."""
-    names = sorted(SCENARIOS)
-    scenario = scenario or names[index % len(names)]
+    scenario = scenario or ALL_SCENARIOS[index % len(ALL_SCENARIOS)]
+    if scenario == CKPT_SCENARIO:
+        return _run_checkpoint_resume(index, fault_seed)
+    if scenario not in SCENARIOS:
+        raise BenchmarkError(
+            f"unknown chaos scenario {scenario!r}; choose from "
+            f"{tuple(ALL_SCENARIOS)}"
+        )
     state = _mix(fault_seed, index, scenario)
     size = MACHINE[0] * MACHINE[1] * MACHINE[2]
     state, draw = _rand(state)
@@ -321,20 +404,27 @@ def run_campaign(index: int, fault_seed: int,
     )
 
 
-def run_chaos(campaigns: int, fault_seed: int = 0) -> ExperimentResult:
-    """The ``--chaos N`` entry point: N campaigns, one summary table."""
-    rows: List[List[Any]] = []
-    landed = 0
-    for index in range(campaigns):
-        outcome = run_campaign(index, fault_seed)
-        landed += outcome.crash_landed
-        rows.append([
-            outcome.index, outcome.scenario, outcome.victim,
-            outcome.crash_at,
-            "crash" if outcome.crash_landed else "late",
-            outcome.survivors, outcome.finish_us, outcome.trace_events,
-            "yes" if outcome.deterministic else "NO",
-        ])
+def campaign_row(outcome: CampaignOutcome) -> List[Any]:
+    """One summary-table row (the unit the service checkpoints)."""
+    return [
+        outcome.index, outcome.scenario, outcome.victim,
+        outcome.crash_at,
+        "crash" if outcome.crash_landed else "late",
+        outcome.survivors, outcome.finish_us, outcome.trace_events,
+        "yes" if outcome.deterministic else "NO",
+    ]
+
+
+def chaos_summary(rows: List[List[Any]],
+                  fault_seed: int) -> ExperimentResult:
+    """Assemble the summary table from per-campaign rows.
+
+    Split out of :func:`run_chaos` so the service's resumable chaos
+    jobs (:mod:`repro.ckpt.campaign`) can build a payload from a mix
+    of freshly computed and checkpoint-loaded rows and still produce a
+    bit-identical result.
+    """
+    landed = sum(1 for row in rows if row[4] == "crash")
     return ExperimentResult(
         experiment="chaos",
         title=f"Chaos campaigns (seed {fault_seed}): node crashes "
@@ -344,9 +434,23 @@ def run_chaos(campaigns: int, fault_seed: int = 0) -> ExperimentResult:
                  "deterministic"],
         rows=rows,
         notes=[
-            f"{campaigns} campaigns, {landed} crashes landed; every "
+            f"{len(rows)} campaigns, {landed} crashes landed; every "
             f"run finished (no hangs), survivors shrank and completed "
             f"an exactly-once verification collective, and each "
             f"campaign's event trace was bit-identical across reruns.",
         ],
     )
+
+
+def run_chaos(campaigns: int, fault_seed: int = 0,
+              scenario: Optional[str] = None) -> ExperimentResult:
+    """The ``--chaos N`` entry point: N campaigns, one summary table.
+
+    ``scenario`` pins every campaign to one scenario (the CI resume
+    smoke runs ``--chaos-scenario checkpoint-resume``); the default
+    rotates through :data:`ALL_SCENARIOS`.
+    """
+    rows = [campaign_row(run_campaign(index, fault_seed,
+                                      scenario=scenario))
+            for index in range(campaigns)]
+    return chaos_summary(rows, fault_seed)

@@ -1,0 +1,82 @@
+"""Item-level resumable campaigns (the sequential-engine checkpoint).
+
+PDES windows are the natural barrier for *one long sharded run*; a
+chaos or sweep campaign is instead a list of independent deterministic
+items, and its natural quiescent point is *between items*.
+:func:`run_resumable` persists each item's payload as it completes, so
+a crashed/killed/hung worker re-running the same campaign loads every
+finished item from the store and recomputes only the remainder — retry
+becomes resume without touching the item functions at all.
+
+Determinism makes this safe: an item payload is a pure function of the
+campaign key (a canonical config hash), so a loaded payload is
+bit-identical to what recomputation would produce — pinned by
+``tests/test_ckpt_property.py`` across fault configs, and by the
+service cache's integrity tripwire in production.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro import __version__
+from repro.ckpt import context
+from repro.ckpt.store import CheckpointStore
+from repro.errors import ReproError
+
+
+class SimulatedCrash(ReproError):
+    """Deliberate mid-campaign death (tests / chaos drills only)."""
+
+
+@dataclass
+class CampaignProgress:
+    """What :func:`run_resumable` did: payloads plus resume accounting."""
+
+    key: str
+    results: List[object] = field(default_factory=list)
+    loaded: int = 0      # items restored from the store
+    computed: int = 0    # items actually executed this run
+
+
+def run_resumable(key: str, items: Sequence[object],
+                  run_item: Callable[[object, int], object],
+                  store: Optional[CheckpointStore] = None, *,
+                  config_hash: Optional[str] = None,
+                  crash_after: Optional[int] = None) -> CampaignProgress:
+    """Run ``run_item(item, index)`` over ``items``, checkpointing each.
+
+    With no store this is a plain loop (zero overhead, zero behavior
+    change).  With a store, each completed item is persisted atomically
+    under ``key`` before the next begins; a rerun of the same key loads
+    completed items instead of recomputing them.  ``config_hash``
+    (default: the key itself, which service callers derive from the
+    canonical config) guards the store against config/code drift.
+
+    ``crash_after=k`` raises :class:`SimulatedCrash` right after item
+    ``k`` persists — the test hook for crash-at-any-item coverage.
+    """
+    if store is not None:
+        store.open_key(key, "item", config_hash or key, __version__)
+    progress = CampaignProgress(key=key)
+    for index, item in enumerate(items):
+        payload = store.get_item(key, index) if store is not None else None
+        if payload is not None:
+            progress.loaded += 1
+        else:
+            payload = run_item(item, index)
+            progress.computed += 1
+            if store is not None:
+                store.put_item(key, index, payload)
+        if store is not None:
+            context.note(key, "item", index)
+        progress.results.append(payload)
+        if crash_after is not None and index == crash_after:
+            raise SimulatedCrash(
+                f"simulated crash after campaign item {index} "
+                f"(checkpoint {context.current().ckpt_id})"
+                if store is not None else
+                f"simulated crash after campaign item {index}"
+            )
+    return progress

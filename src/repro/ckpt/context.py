@@ -1,0 +1,50 @@
+"""Process-wide note of the most recent durable checkpoint.
+
+The checkpoint writers (:func:`repro.ckpt.campaign.run_resumable`, the
+PDES coordinator) record every persisted checkpoint here; the error
+surfaces (the hang watchdog's :class:`~repro.errors.HangError`, the
+cluster ``hang_report``, the service router's structured errors) read
+it back, so a killed or hung job's error names exactly where a resumed
+run will pick up.  One slot per process is the right granularity: a
+worker process runs one job at a time, and the coordinator notes on
+behalf of the whole shard set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.ckpt.store import checkpoint_id
+
+
+@dataclass(frozen=True)
+class CheckpointNote:
+    """What the latest durable checkpoint is, and where resume lands."""
+
+    key: str
+    kind: str   # "item" (campaign) or "window" (PDES)
+    index: int
+
+    @property
+    def ckpt_id(self) -> str:
+        return checkpoint_id(self.key, self.kind, self.index)
+
+
+_current: Optional[CheckpointNote] = None
+
+
+def note(key: str, kind: str, index: int) -> CheckpointNote:
+    """Record the latest durable checkpoint for this process."""
+    global _current
+    _current = CheckpointNote(key, kind, index)
+    return _current
+
+
+def current() -> Optional[CheckpointNote]:
+    return _current
+
+
+def clear() -> None:
+    global _current
+    _current = None

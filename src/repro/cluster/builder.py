@@ -338,12 +338,20 @@ class MeshCluster:
 
     def hang_report(self) -> str:
         """Diagnostic naming stuck VIs/requests/ranks (watchdog food)."""
+        from repro.ckpt import context as ckpt_context
+
         recorder = getattr(self.sim, "recorder", None)
         lines = [
             f"run identity: config_hash={self.config_hash()[:16]} "
             f"fault_seed={self.fault_seed}",
             f"alive-set: {self.alive_ranks()} of {self.size}",
         ]
+        note = ckpt_context.current()
+        if note is not None:
+            lines.insert(1, (
+                f"latest checkpoint: {note.ckpt_id} "
+                f"(resume picks up after {note.kind} {note.index})"
+            ))
         for rank, when, by, reason in self.death_log:
             lines.append(
                 f"  death: rank {rank} at t={when:.1f}us "

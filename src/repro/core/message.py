@@ -97,7 +97,15 @@ class Request(Event):
 
     def __init__(self, sim, kind: str) -> None:
         super().__init__(sim, name=f"{kind}-req")
-        self.req_id = next(_req_ids)
+        # Ids come from the simulator's own stream (falling back to the
+        # process-global counter for bare Events in unit tests) so that
+        # a checkpoint replay reproduces the exact rendezvous ids the
+        # original run put on the wire.
+        if hasattr(sim, "_req_ids"):
+            self.req_id = sim._req_ids
+            sim._req_ids += 1
+        else:  # pragma: no cover - hand-built test doubles
+            self.req_id = next(_req_ids)
         self.kind = kind
 
     def wait(self):

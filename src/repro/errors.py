@@ -36,14 +36,51 @@ class HangError(SimulationError):
     configuration digest + deterministic fault-stream seed) so a hung
     run is reproducible from the error alone; both also appear in the
     message text via the cluster's ``hang_report``.
+
+    ``checkpoint_id`` and ``checkpoint_index`` name the most recent
+    durable checkpoint of the run, when one exists — exactly where a
+    resumed run will pick up (see :mod:`repro.ckpt`).
     """
 
     def __init__(self, message: str,
                  config_hash: Optional[str] = None,
-                 fault_seed: Optional[int] = None) -> None:
+                 fault_seed: Optional[int] = None,
+                 checkpoint_id: Optional[str] = None,
+                 checkpoint_index: Optional[int] = None) -> None:
         super().__init__(message)
         self.config_hash = config_hash
         self.fault_seed = fault_seed
+        self.checkpoint_id = checkpoint_id
+        self.checkpoint_index = checkpoint_index
+
+
+class ShardCrashed(SimulationError):
+    """A PDES shard worker died mid-run (pipe EOF / killed process).
+
+    Distinct from a shard *reporting* an error (which stays a plain
+    :class:`SimulationError` and is never retried): a crash says
+    nothing about the simulation itself, so the coordinator may recover
+    the shard from its checkpoint log (:mod:`repro.ckpt`) and replay.
+    """
+
+    def __init__(self, message: str, shard_id: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.shard_id = shard_id
+
+
+class CheckpointError(ReproError):
+    """Base class for checkpoint/restore failures (:mod:`repro.ckpt`)."""
+
+
+class CheckpointMismatchError(CheckpointError):
+    """A checkpoint does not match the run trying to restore from it.
+
+    Raised when the stored config hash or code version disagrees with
+    the restoring run's identity, or when a replayed shard's state
+    digest diverges from the digest captured at checkpoint time — in
+    either case resuming would silently break the determinism contract,
+    so the restore is refused instead.
+    """
 
 
 class InterruptError(SimulationError):

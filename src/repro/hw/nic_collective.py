@@ -417,7 +417,7 @@ class NicCollective:
             src_node=self.rank,
             dst_node=dst,
             dst_vi=0,
-            msg_id=ViaPacket.next_msg_id(),
+            msg_id=self.device.next_msg_id(),
             payload_bytes=nbytes,
             payload=(sequence, state.mode, state.root, value),
         )
@@ -464,7 +464,7 @@ class NicCollective:
             src_node=self.rank,
             dst_node=dst,
             dst_vi=0,
-            msg_id=ViaPacket.next_msg_id(),
+            msg_id=self.device.next_msg_id(),
             payload_bytes=0,
             ack=self._rx_next.get(dst, 0) - 1,
             payload=(0, "ack", 0, None),

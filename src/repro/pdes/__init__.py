@@ -9,6 +9,7 @@ determinism contract.
 """
 
 from repro.pdes.runner import (
+    CheckpointPolicy,
     InProcessShard,
     PdesResult,
     PipeShard,
@@ -26,6 +27,7 @@ from repro.pdes.workloads import (
 )
 
 __all__ = [
+    "CheckpointPolicy",
     "InProcessShard",
     "PdesResult",
     "PipeShard",

@@ -176,6 +176,55 @@ class ShardRuntime:
         del self.notify_outbox[:]
         return egress, notifies_out, self.sim.peek()
 
+    # -- checkpoint/restore ---------------------------------------------
+
+    def state_digest(self) -> str:
+        """Bit-exact digest of this shard at a window barrier.
+
+        Covers the event heap/deques, clock, sequence counter, link and
+        port counters, fault-RNG streams, reliability sequence numbers,
+        communicator epochs and the recorder span set — see
+        :func:`repro.ckpt.state.shard_digest`.
+        """
+        from repro.ckpt.state import shard_digest
+
+        return shard_digest(self)
+
+    def replay(self, calls: List[tuple],
+               verify: Optional[tuple] = None):
+        """Re-apply a logged window history to a freshly built shard.
+
+        ``calls`` is the coordinator's per-shard log of
+        ``(until, ingress, notifies)`` tuples; replaying them through
+        :meth:`run_window` reconstructs the exact pre-crash state
+        because every input the shard ever consumed is in the log (the
+        message-logging recovery argument).  ``verify=(ncalls, digest)``
+        checks the state digest after ``ncalls`` replayed windows
+        against the digest captured when the checkpoint was written and
+        raises :class:`~repro.errors.CheckpointMismatchError` on any
+        divergence.  Returns the last window's reply (``None`` when the
+        log is empty), which serves the in-flight window of a shard
+        that died between send and receive.
+        """
+        from repro.errors import CheckpointMismatchError
+
+        def check(done: int) -> None:
+            if verify is not None and done == verify[0]:
+                actual = self.state_digest()
+                if actual != verify[1]:
+                    raise CheckpointMismatchError(
+                        f"shard {self.shard_id} replay diverged after "
+                        f"{done} windows: state digest "
+                        f"{actual[:16]} != checkpointed {verify[1][:16]}"
+                    )
+
+        check(0)
+        last = None
+        for done, (until, ingress, notifies) in enumerate(calls, start=1):
+            last = self.run_window(until, ingress, notifies)
+            check(done)
+        return last
+
     # -- completion -----------------------------------------------------
 
     def finish(self) -> dict:

@@ -5,10 +5,18 @@ out to every worker, then collects every reply — the inter-process
 mirror of the in-simulation window barrier):
 
 * ``("build", spec)``            -> ``("ready", peek)``
+* ``("restore", spec, calls, verify)``
+                                 -> ``("restored", last_reply, peek)``
 * ``("window", until, ingress, notifies)``
                                  -> ``("barrier", egress, notifies, peek)``
+* ``("digest",)``                -> ``("digest", state_digest)``
 * ``("finish",)``                -> ``("result", payload)``
 * ``("stop",)``                  -> worker exits
+
+``restore`` is the crash-recovery entry (see :mod:`repro.ckpt`): build
+the shard fresh, replay the coordinator's logged window calls, verify
+the checkpointed state digest, and hand back the last window's reply
+so an in-flight window can be served without re-sending it.
 
 Any exception is reported as ``("error", type_name, traceback_text)``
 and the worker exits; the coordinator raises it as a
@@ -37,6 +45,12 @@ def shard_worker_main(conn) -> None:
             if op == "build":
                 runtime = ShardRuntime(message[1])
                 conn.send(("ready", runtime.peek()))
+            elif op == "restore":
+                runtime = ShardRuntime(message[1])
+                last = runtime.replay(message[2], message[3])
+                conn.send(("restored", last, runtime.peek()))
+            elif op == "digest":
+                conn.send(("digest", runtime.state_digest()))
             elif op == "window":
                 egress, notifies, peek = runtime.run_window(
                     message[1], message[2], message[3])

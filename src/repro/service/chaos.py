@@ -66,6 +66,11 @@ def _spec_pool() -> List[JobSpec]:
         JobSpec.make("point", "via_pingpong_bandwidth", nbytes=16384),
         JobSpec.make("point", "via_latency", nbytes=4, loss=0.01,
                      seed=7),
+        # Checkpointing workloads: a kill mid-run leaves window/item
+        # snapshots a retry resumes from (crash-resume coverage).
+        JobSpec.make("pdes", "aggregate", dims="2x2x2", nshards=2,
+                     ckpt_every=8),
+        JobSpec.make("chaos", campaigns=2, seed=3),
     ]
 
 

@@ -29,7 +29,9 @@ import asyncio
 import itertools
 import multiprocessing
 import os
+import shutil
 import signal
+import tempfile
 import time
 from typing import Any, Callable, Dict, List, Optional
 
@@ -93,12 +95,19 @@ class Fleet:
     def __init__(self, size: int = 2, *,
                  heartbeat_interval: float = 0.1,
                  hang_timeout: float = 5.0,
-                 on_dispatch: Optional[Callable] = None) -> None:
+                 on_dispatch: Optional[Callable] = None,
+                 ckpt_dir: Optional[str] = None) -> None:
         if size < 1:
             raise ValueError(f"fleet size must be >= 1, got {size}")
         self.size = size
         self.heartbeat_interval = heartbeat_interval
         self.hang_timeout = hang_timeout
+        #: Shared checkpoint-store root handed to every worker (jobs
+        #: that checkpoint write here; a replacement worker resumes
+        #: from here).  ``None`` = allocate a private one at start()
+        #: and remove it at stop().
+        self.ckpt_dir = ckpt_dir
+        self._owns_ckpt_dir = False
         #: Chaos/test hook, called as ``on_dispatch(fleet, handle,
         #: spec)`` right after a job is written to a worker.
         self.on_dispatch = on_dispatch
@@ -108,6 +117,7 @@ class Fleet:
         self.counters: Dict[str, int] = {
             "jobs_ok": 0, "jobs_failed": 0, "crashes": 0, "hangs": 0,
             "restarts": 0, "deadline_kills": 0, "worker_events": 0,
+            "ckpt_loaded": 0, "ckpt_computed": 0, "ckpt_resumes": 0,
         }
         self.workers: List[WorkerHandle] = []
         self._idle: "asyncio.Queue[WorkerHandle]" = None  # set in start
@@ -123,6 +133,9 @@ class Fleet:
         self._loop = asyncio.get_running_loop()
         self._idle = asyncio.Queue()
         self._running = True
+        if self.ckpt_dir is None:
+            self.ckpt_dir = tempfile.mkdtemp(prefix="repro-ckpt-")
+            self._owns_ckpt_dir = True
         for _ in range(self.size):
             self._spawn_worker()
         self._supervisor = self._loop.create_task(self._supervise(),
@@ -132,7 +145,7 @@ class Fleet:
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
         process = self._ctx.Process(
             target=worker_main,
-            args=(child_conn, self.heartbeat_interval),
+            args=(child_conn, self.heartbeat_interval, self.ckpt_dir),
             daemon=True,
             name=f"repro-service-worker-{next(_WORKER_IDS)}",
         )
@@ -184,6 +197,10 @@ class Fleet:
                 await self._loop.run_in_executor(
                     None, handle.process.join, 2.0)
             self._retire(handle, fail_job=True)
+        if self._owns_ckpt_dir and self.ckpt_dir is not None:
+            shutil.rmtree(self.ckpt_dir, ignore_errors=True)
+            self.ckpt_dir = None
+            self._owns_ckpt_dir = False
 
     # -- dispatch -----------------------------------------------------------
     async def run_job(self, spec: JobSpec, timeout: float) -> Any:
@@ -278,10 +295,19 @@ class Fleet:
                     # process's global tally; without this, fleet runs
                     # undercount TOTAL_EVENTS by everything simulated in
                     # child processes.
-                    events = int(message[3].get("events", 0))
+                    meta = message[3]
+                    events = int(meta.get("events", 0))
                     if events > 0:
                         sim_core.record_external_events(events)
                         self.counters["worker_events"] += events
+                    # Checkpoint/resume telemetry rides in meta (never
+                    # the payload — cache bit-identity).
+                    loaded = int(meta.get("ckpt_loaded", 0))
+                    self.counters["ckpt_loaded"] += loaded
+                    self.counters["ckpt_computed"] += int(
+                        meta.get("ckpt_computed", 0))
+                    if loaded or meta.get("ckpt_resumed_from") is not None:
+                        self.counters["ckpt_resumes"] += 1
                 if not future.done():
                     future.set_result(message[2])
             else:
@@ -362,6 +388,7 @@ class Fleet:
             "alive": len(self.alive_workers()),
             "busy": len(self.busy_workers()),
             "dispatches": self.dispatches,
+            "ckpt_dir": self.ckpt_dir,
             "counters": dict(self.counters),
             "workers": [
                 {"index": h.index, "pid": h.pid, "state": h.state,

@@ -19,13 +19,27 @@ Workload families (``JobSpec.kind``):
     fault streams seeded by ``seed``).
 ``chaos``
     A seeded engine-level chaos campaign batch:
-    ``args: {"campaigns": int}``, fault seed from ``seed``.
+    ``args: {"campaigns": int}``, fault seed from ``seed``; with a
+    process checkpoint store (:func:`repro.ckpt.default_store`) each
+    campaign is persisted as it completes, so a retried job resumes
+    instead of recomputing.
 ``trace``
     The traced fig5-style collective; returns span/event counts and
     the content hash of the span identity set.
 ``breakdown``
     The per-span-kind latency breakdown report of the fig2 point
     workload.
+``pdes``
+    One sharded PDES run: ``name`` is the workload, ``args:
+    {"dims": "4x2x2", "nshards": int, "ckpt_every": int}``.  With a
+    checkpoint store the run snapshots every ``ckpt_every`` windows
+    and resumes from the newest persisted window set on retry.
+
+Checkpoint/resume telemetry (windows resumed, campaigns loaded,
+recoveries) varies with crash timing, so it never enters the payload —
+retried runs must stay bit-identical for the cache integrity tripwire.
+It is published through :data:`LAST_RUN_META` instead, which the
+worker folds into its out-of-band result ``meta``.
 """
 
 from __future__ import annotations
@@ -33,6 +47,11 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, Tuple
 
 from repro.service.protocol import JobSpec, ProtocolError
+
+#: Resume/recovery telemetry of the most recent :func:`execute` in this
+#: process.  Out-of-band on purpose: payloads are content-addressed and
+#: must not depend on how many checkpoints a particular attempt loaded.
+LAST_RUN_META: Dict[str, Any] = {}
 
 #: Point ops: name -> (callable factory, unit, allowed scalar args).
 POINT_OPS: Dict[str, Tuple[str, str, Tuple[str, ...]]] = {
@@ -115,7 +134,9 @@ def _run_point(spec: JobSpec) -> Dict[str, Any]:
 
 
 def _run_chaos(spec: JobSpec) -> Dict[str, Any]:
-    from repro.bench.chaos import run_chaos
+    from repro.bench.chaos import (ALL_SCENARIOS, campaign_row,
+                                   chaos_summary, run_campaign)
+    from repro.ckpt import default_store, run_resumable
     from repro.hw import faults
 
     campaigns = spec.arg("campaigns", 1)
@@ -125,15 +146,86 @@ def _run_chaos(spec: JobSpec) -> Dict[str, Any]:
             f"chaos campaigns must be a positive integer, got "
             f"{campaigns!r}"
         )
-    faults.clear_registry()
-    try:
-        result = run_chaos(campaigns, fault_seed=spec.seed)
-    finally:
+    scenario = spec.arg("scenario")
+    if scenario is not None and scenario not in ALL_SCENARIOS:
+        raise ProtocolError(
+            f"unknown chaos scenario {scenario!r}; choose from "
+            f"{tuple(ALL_SCENARIOS)}"
+        )
+
+    def one_campaign(_item, index: int):
         faults.clear_registry()
+        try:
+            return campaign_row(run_campaign(index, spec.seed,
+                                             scenario=scenario))
+        finally:
+            faults.clear_registry()
+
+    # Each campaign row persists as it completes (when this process
+    # has a checkpoint store); a retry after a crash/hang-kill loads
+    # the finished rows and only computes the remainder.  The summary
+    # is built from rows either way, so the payload is bit-identical.
+    progress = run_resumable(spec.cache_key(), list(range(campaigns)),
+                             one_campaign, default_store())
+    LAST_RUN_META.update(ckpt_loaded=progress.loaded,
+                         ckpt_computed=progress.computed)
+    result = chaos_summary(progress.results, spec.seed)
     payload = _result_payload(result)
     payload["kind"] = "chaos"
     payload["fault_seed"] = spec.seed
     return payload
+
+
+def _run_pdes(spec: JobSpec) -> Dict[str, Any]:
+    from repro.canonical import to_canonical
+    from repro.ckpt import default_store
+    from repro.pdes import CheckpointPolicy, run_sharded
+
+    dims_arg = spec.arg("dims", "2x2x2")
+    try:
+        dims = tuple(int(part) for part in str(dims_arg).split("x"))
+    except ValueError:
+        dims = ()
+    if not dims or any(d < 1 for d in dims):
+        raise ProtocolError(
+            f"pdes dims must look like '4x2x2', got {dims_arg!r}"
+        )
+    nshards = spec.arg("nshards", 2)
+    if not isinstance(nshards, int) or isinstance(nshards, bool) \
+            or nshards < 1:
+        raise ProtocolError(
+            f"pdes nshards must be a positive integer, got {nshards!r}"
+        )
+    every = spec.arg("ckpt_every", 16)
+    if not isinstance(every, int) or isinstance(every, bool) or every < 0:
+        raise ProtocolError(
+            f"pdes ckpt_every must be a non-negative integer, got "
+            f"{every!r}"
+        )
+    store = default_store()
+    policy = CheckpointPolicy(every=every, store=store,
+                              resume=store is not None,
+                              key=spec.cache_key())
+    # Shards stay in-process: fleet workers are daemonic and may not
+    # spawn children.  Crash-resume still works — the *worker* is the
+    # unit that dies and the window sets are on disk.
+    result = run_sharded(dims, workload=spec.name or "aggregate",
+                         nshards=nshards, checkpoint=policy)
+    LAST_RUN_META.update(
+        ckpt_windows_written=result.checkpoints,
+        ckpt_recoveries=result.recoveries,
+        ckpt_resumed_from=result.resumed_from,
+        ckpt_new_windows=result.windows,
+    )
+    return {
+        "kind": "pdes",
+        "workload": spec.name or "aggregate",
+        "dims": list(dims),
+        "nshards": nshards,
+        "table": to_canonical(result.table),
+        "events": result.events_processed,
+        "finish_us": result.now,
+    }
 
 
 def _run_trace(spec: JobSpec) -> Dict[str, Any]:
@@ -157,6 +249,7 @@ _RUNNERS = {
     "chaos": _run_chaos,
     "trace": _run_trace,
     "breakdown": _run_breakdown,
+    "pdes": _run_pdes,
 }
 
 
@@ -169,10 +262,11 @@ def execute(spec: JobSpec) -> Dict[str, Any]:
     engine errors (:class:`~repro.errors.ReproError`) propagate — the
     worker reports both as structured, non-retriable job failures.
     """
+    LAST_RUN_META.clear()
     runner = _RUNNERS.get(spec.kind)
     if runner is None:
         raise ProtocolError(f"unknown job kind {spec.kind!r}")
     return runner(spec)
 
 
-__all__ = ["POINT_OPS", "execute"]
+__all__ = ["LAST_RUN_META", "POINT_OPS", "execute"]

@@ -20,7 +20,9 @@ Responses are one of three shapes, all carrying the request ``id``:
 ``error``
     ``{"id", "status": "error", "error", "message", "retriable",
     "attempts"}`` — structured; ``retriable`` tells the client whether
-    resubmitting the same request can succeed.
+    resubmitting the same request can succeed.  When the job has a
+    durable checkpoint (:mod:`repro.ckpt`), ``checkpoint`` carries
+    ``{"id", "kind", "index"}`` — where a resubmitted run resumes.
 ``overloaded``
     ``{"id", "status": "overloaded", "retriable": true,
     "retry_after_s"}`` — admission control shed the request before
@@ -37,7 +39,7 @@ from repro.canonical import Canonical, content_hash
 from repro.errors import ReproError
 
 #: Workload families the service executes (see :mod:`repro.service.jobs`).
-JOB_KINDS = ("figure", "point", "chaos", "trace", "breakdown")
+JOB_KINDS = ("figure", "point", "chaos", "trace", "breakdown", "pdes")
 
 #: JSON scalar types permitted as job argument values.
 _ARG_SCALARS = (bool, int, float, str, type(None))
@@ -171,12 +173,17 @@ def ok_response(request_id: Any, key: str, result: Any, cache: str,
 
 def error_response(request_id: Any, error: str, message: str,
                    retriable: bool, attempts: int = 0,
-                   key: Optional[str] = None) -> Dict[str, Any]:
-    return {
+                   key: Optional[str] = None,
+                   checkpoint: Optional[Dict[str, Any]] = None,
+                   ) -> Dict[str, Any]:
+    response = {
         "id": request_id, "status": "error", "error": error,
         "message": message, "retriable": retriable,
         "attempts": attempts, "key": key,
     }
+    if checkpoint is not None:
+        response["checkpoint"] = checkpoint
+    return response
 
 
 def overloaded_response(request_id: Any,

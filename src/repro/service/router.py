@@ -227,7 +227,28 @@ class Router:
             f"{spec.label()}: retry budget exhausted after "
             f"{self.config.max_attempts} attempts ({last_error})",
             retriable=True, attempts=self.config.max_attempts, key=key,
+            checkpoint=self._latest_checkpoint(key),
         )
+
+    def _latest_checkpoint(self, key: str) -> Optional[Dict[str, Any]]:
+        """Newest durable checkpoint for ``key``, as wire-shaped info.
+
+        Attached to retriable errors so the client knows a resubmit
+        resumes rather than recomputes (``None`` when the job never
+        checkpointed — e.g. it crashed before the first snapshot).
+        """
+        root = self.fleet.ckpt_dir
+        if not root:
+            return None
+        from repro.ckpt import CheckpointStore
+
+        try:
+            ref = CheckpointStore(root).latest(key)
+        except OSError:  # pragma: no cover - unreadable store
+            return None
+        if ref is None:
+            return None
+        return {"id": ref.ckpt_id, "kind": ref.kind, "index": ref.index}
 
     # -- drain / status ------------------------------------------------------
     async def drain(self) -> bool:

@@ -18,7 +18,10 @@ worker -> parent
     ``("result", job_id, payload, meta)`` on success, where ``meta``
     carries the worker-side simulator event count for the job so the
     parent can fold it into its own ``TOTAL_EVENTS`` (older
-    three-element results are still accepted),
+    three-element results are still accepted) plus any
+    checkpoint/resume telemetry the job published through
+    :data:`repro.service.jobs.LAST_RUN_META` — out-of-band, because
+    the payload itself must stay bit-identical across retries,
     ``("error", job_id, error_type, message)`` on a deterministic
     job failure (the worker survives and takes the next job).
 """
@@ -30,8 +33,18 @@ import threading
 from typing import Any
 
 
-def worker_main(conn: Any, heartbeat_interval: float = 0.1) -> None:
-    """Run the worker loop over ``conn`` until ``stop`` or pipe EOF."""
+def worker_main(conn: Any, heartbeat_interval: float = 0.1,
+                ckpt_dir: Any = None) -> None:
+    """Run the worker loop over ``conn`` until ``stop`` or pipe EOF.
+
+    ``ckpt_dir`` (from the fleet) becomes this process's default
+    checkpoint store root, so every job that checkpoints writes where
+    a replacement worker will look after a crash.
+    """
+    if ckpt_dir:
+        from repro.ckpt import set_default_root
+
+        set_default_root(ckpt_dir)
     send_lock = threading.Lock()
     stopping = threading.Event()
 
@@ -66,13 +79,14 @@ def worker_main(conn: Any, heartbeat_interval: float = 0.1) -> None:
                 continue
             _, job_id, wire = message
             try:
-                from repro.service.jobs import execute
+                from repro.service import jobs
                 from repro.service.protocol import JobSpec
                 from repro.sim import core as sim_core
 
                 before = sim_core.TOTAL_EVENTS
-                payload = execute(JobSpec.from_wire(wire))
+                payload = jobs.execute(JobSpec.from_wire(wire))
                 meta = {"events": sim_core.TOTAL_EVENTS - before}
+                meta.update(jobs.LAST_RUN_META)
                 reply = ("result", job_id, payload, meta)
             except Exception as exc:  # deterministic job failure
                 reply = ("error", job_id, type(exc).__name__, str(exc))

@@ -78,6 +78,11 @@ class Simulator:
         self._crashed: list = []
         #: Events processed by this simulator.
         self.events_processed = 0
+        #: Request-handle id stream (messaging core).  Per-simulator,
+        #: not process-global, because rendezvous ids cross the wire:
+        #: a checkpoint replay rebuilding this simulator mid-process
+        #: must hand out the same ids as the original run.
+        self._req_ids = 0
         #: Application-progress counter: completion surfaces (VI
         #: descriptor completions, messaging-core request completions,
         #: kernel-collective results) bump this so the hang watchdog

@@ -209,7 +209,10 @@ class Watchdog:
                 self._last_progress = progress
                 self._stalled_since = sim.now
             elif sim.now - self._stalled_since > self.hang_after:
+                from repro.ckpt import context as ckpt_context
+
                 self.counters["hangs_detected"] += 1
+                note = ckpt_context.current()
                 raise HangError(
                     f"no application progress for "
                     f"{sim.now - self._stalled_since:.0f}us "
@@ -217,6 +220,8 @@ class Watchdog:
                     + self.cluster.hang_report(),
                     config_hash=self.cluster.config_hash(),
                     fault_seed=self.cluster.fault_seed,
+                    checkpoint_id=note.ckpt_id if note else None,
+                    checkpoint_index=note.index if note else None,
                 )
             retransmits = self._retransmit_total()
             if retransmits - self._last_retransmits >= \

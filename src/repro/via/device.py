@@ -61,6 +61,14 @@ class ViaDevice:
         self.memory = RegisteredSpace()
         self.agent = KernelAgent(self)
         self._vi_ids = itertools.count(1)
+        # Message ids are allocated per device, not process-globally:
+        # a shard runtime rebuilt mid-process (checkpoint replay) must
+        # reproduce the exact ids of its first life, or fragments
+        # resent across a shard boundary would mismatch the peer's
+        # in-progress reassembly.  Per-VI streams never interleave
+        # messages, so cross-device collisions are harmless.  A plain
+        # int (not itertools.count) so state digests can cover it.
+        self._next_msg_id = 0
         self.vis: Dict[int, VI] = {}
         #: User payload bytes per Ethernet frame after the VIA header.
         mtu = next(iter(self.ports.values())).params.mtu
@@ -151,6 +159,12 @@ class ViaDevice:
     # -- user-facing object factory ---------------------------------------------
     def create_protection_tag(self) -> ProtectionTag:
         return ProtectionTag.create()
+
+    def next_msg_id(self) -> int:
+        """Allocate a message id from this device's own stream."""
+        value = self._next_msg_id
+        self._next_msg_id = value + 1
+        return value
 
     def create_vi(self, tag: ProtectionTag,
                   send_cq: Optional[CompletionQueue] = None,
@@ -261,7 +275,7 @@ class ViaDevice:
         """Process: fragment and enqueue a two-sided send."""
         peer_node, peer_vi = vi.peer
         route = tuple(descriptor.route) if descriptor.route else None
-        msg_id = ViaPacket.next_msg_id()
+        msg_id = self.next_msg_id()
         frags = list(self._fragments(descriptor.nbytes))
         packets = []
         for index, (offset, frag_bytes) in enumerate(frags):
@@ -319,7 +333,7 @@ class ViaDevice:
         """Process: fragment and enqueue a remote-DMA write."""
         peer_node, peer_vi = vi.peer
         route = tuple(descriptor.route) if descriptor.route else None
-        msg_id = ViaPacket.next_msg_id()
+        msg_id = self.next_msg_id()
         frags = list(self._fragments(descriptor.nbytes))
         packets = []
         for index, (offset, frag_bytes) in enumerate(frags):
@@ -384,7 +398,7 @@ class ViaDevice:
             dst_node=dst_node,
             dst_vi=dst_vi,
             src_vi=src_vi,
-            msg_id=ViaPacket.next_msg_id(),
+            msg_id=self.next_msg_id(),
             payload_bytes=0,
             payload=payload,
         ).seal()

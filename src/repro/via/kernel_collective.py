@@ -236,7 +236,7 @@ class KernelCollective:
             src_node=device.rank,
             dst_node=dst,
             dst_vi=0,
-            msg_id=ViaPacket.next_msg_id(),
+            msg_id=device.next_msg_id(),
             payload_bytes=nbytes,
             payload=(sequence, value),
         ).seal()

@@ -97,6 +97,12 @@ class ViaPacket:
 
     @classmethod
     def next_msg_id(cls) -> int:
+        """Process-global fallback allocator (hand-built packets only).
+
+        Real senders draw from ``ViaDevice.next_msg_id`` — per-device
+        streams are what lets a checkpoint replay reproduce the exact
+        ids of the original run (see ``docs/CHECKPOINT.md``).
+        """
         return next(_msg_ids)
 
     def compute_checksum(self) -> int:

@@ -371,7 +371,7 @@ class ReliableChannel:
             dst_node=peer_node,
             dst_vi=peer_vi,
             src_vi=vi.vi_id,
-            msg_id=ViaPacket.next_msg_id(),
+            msg_id=device.next_msg_id(),
             payload_bytes=0,
             ack=self.rx_expected - 1,
         ).seal()

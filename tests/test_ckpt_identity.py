@@ -1,0 +1,155 @@
+"""The checkpoint differential harness (the PR's core guarantee).
+
+Crash-at-window -> restore -> run-to-completion must be **bit
+identical** to an uninterrupted run: experiment tables repr-identical,
+per-rank results equal, flight-recorder span sets equal.  Pinned here
+at 1/2/4 shards, for in-process and subprocess execution, for crashes
+at seeded + boundary windows, and for resume-from-store (including a
+forced rollback to an earlier barrier via ``drop_windows_after``).
+"""
+
+import zlib
+
+import pytest
+
+from repro.ckpt import CheckpointStore
+from repro.pdes import CheckpointPolicy, run_sharded
+
+DIMS = (4, 2, 2)          # longest axis 4 => supports the 1/2/4 sweep
+WORKLOAD = "aggregate"
+
+
+def _mix(salt: str) -> int:
+    return zlib.crc32(f"ckpt-identity:{salt}".encode()) & 0x7FFFFFFF
+
+
+@pytest.fixture(scope="module")
+def references():
+    """Uninterrupted runs (with the recorder on) per shard count."""
+    return {
+        n: run_sharded(DIMS, workload=WORKLOAD, nshards=n, observe=True)
+        for n in (1, 2, 4)
+    }
+
+
+def _assert_identical(result, ref):
+    assert repr(result.table) == repr(ref.table)
+    assert result.per_rank == ref.per_rank
+    assert result.windows == ref.windows
+    assert set(result.recorder.span_keys()) \
+        == set(ref.recorder.span_keys())
+
+
+class TestCrashAtWindowDifferential:
+    @pytest.mark.parametrize("nshards", [1, 2, 4])
+    def test_crash_replay_is_bit_identical(self, references, nshards):
+        ref = references[nshards]
+        # The kill fires when the coordinator's window counter (which
+        # runs 0..windows-1) matches.  A single shard drains in one
+        # window, so only window 0 exists there; multi-shard runs
+        # sample the first, a mid-run, the final, and a seeded window:
+        # crash-at-*any*-window, sampled.
+        if ref.windows == 1:
+            picks = [0]
+        else:
+            picks = sorted({
+                1,
+                ref.windows // 2,
+                ref.windows - 1,
+                1 + _mix(f"w:{nshards}") % (ref.windows - 1),
+            })
+        for window in picks:
+            victim = _mix(f"v:{nshards}:{window}") % nshards
+            result = run_sharded(
+                DIMS, workload=WORKLOAD, nshards=nshards, observe=True,
+                checkpoint=CheckpointPolicy(
+                    every=16, chaos_kill=(victim, window)),
+            )
+            assert result.recoveries == 1, \
+                f"kill at window {window} did not land"
+            _assert_identical(result, ref)
+
+    def test_capture_disabled_still_recovers(self, references):
+        # every=0 keeps only the in-memory logs: recovery is full
+        # replay from window zero, and still bit-identical.
+        ref = references[2]
+        result = run_sharded(
+            DIMS, workload=WORKLOAD, nshards=2, observe=True,
+            checkpoint=CheckpointPolicy(
+                every=0, chaos_kill=(1, ref.windows // 3)),
+        )
+        assert result.recoveries == 1
+        assert result.checkpoints == 0
+        _assert_identical(result, ref)
+
+
+class TestSubprocessExecution:
+    def test_subprocess_crash_resume_matches_inprocess(self, references):
+        # A real SIGKILLed shard process, recovered by respawn+replay,
+        # must reproduce the in-process uninterrupted reference.
+        ref = references[2]
+        result = run_sharded(
+            DIMS, workload=WORKLOAD, nshards=2, processes=True,
+            observe=True,
+            checkpoint=CheckpointPolicy(
+                every=32, chaos_kill=(1, ref.windows // 2)),
+        )
+        assert result.recoveries == 1
+        _assert_identical(result, ref)
+
+
+class TestResumeFromStore:
+    def test_resume_skips_completed_windows_bit_identically(
+            self, references, tmp_path):
+        ref = references[2]
+        every = 16
+
+        def run(resume):
+            return run_sharded(
+                DIMS, workload=WORKLOAD, nshards=2,
+                checkpoint=CheckpointPolicy(
+                    every=every, store=CheckpointStore(tmp_path),
+                    resume=resume),
+            )
+
+        full = run(resume=False)
+        assert repr(full.table) == repr(ref.table)
+        assert full.checkpoints == full.windows // every
+        key = full.ckpt_key
+        store = CheckpointStore(tmp_path)
+        captured = store.windows(key)
+        assert captured == [every * (i + 1)
+                            for i in range(full.checkpoints)]
+
+        # Resume from the newest barrier: only the tail re-executes.
+        resumed = run(resume=True)
+        assert resumed.resumed_from == captured[-1]
+        assert resumed.windows == full.windows - captured[-1]
+        assert repr(resumed.table) == repr(full.table)
+        assert resumed.per_rank == full.per_rank
+
+        # Roll back to an early barrier and resume across several
+        # capture intervals (re-captures land on the same indices).
+        keep = captured[1]
+        dropped = store.drop_windows_after(key, keep)
+        assert dropped == len(captured) - 2
+        replayed = run(resume=True)
+        assert replayed.resumed_from == keep
+        assert replayed.windows == full.windows - keep
+        assert repr(replayed.table) == repr(full.table)
+        assert replayed.per_rank == full.per_rank
+
+    def test_crash_and_store_together(self, references, tmp_path):
+        # Chaos kill on a store-backed run: recovery replays from the
+        # log, captures keep landing, and the result stays identical.
+        ref = references[2]
+        result = run_sharded(
+            DIMS, workload=WORKLOAD, nshards=2,
+            checkpoint=CheckpointPolicy(
+                every=16, store=CheckpointStore(tmp_path),
+                chaos_kill=(0, ref.windows // 2)),
+        )
+        assert result.recoveries == 1
+        assert result.checkpoints == result.windows // 16
+        assert repr(result.table) == repr(ref.table)
+        assert result.per_rank == ref.per_rank
