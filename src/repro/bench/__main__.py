@@ -125,15 +125,37 @@ def main(argv=None) -> int:
                              "(host vs kernel vs nic) and record the "
                              "'nic_collectives' section of "
                              "BENCH_PERF.json")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="enable the wall-clock telemetry plane, "
+                             "drive the instrumented subsystems "
+                             "(load test, sharded PDES, checkpoints) "
+                             "and print the metrics report")
+    parser.add_argument("--telemetry-trace", metavar="OUT.json",
+                        default=None,
+                        help="with --telemetry: write the unified "
+                             "wall+sim Chrome/Perfetto trace")
     args = parser.parse_args(argv)
+    if args.telemetry_trace and not args.telemetry:
+        parser.error("--telemetry-trace requires --telemetry")
     if (not args.experiments and not args.chaos and not args.trace
             and not args.breakdown and not args.shards
             and not args.shard_scaling and not args.nic_collectives
-            and not args.ckpt_profile):
+            and not args.ckpt_profile and not args.telemetry):
         parser.error("name at least one experiment (or use --chaos N, "
                      "--trace OUT.json, --breakdown, --shards N, "
                      "--shard-scaling, --nic-collectives, "
-                     "--ckpt-profile)")
+                     "--ckpt-profile, --telemetry)")
+
+    if args.telemetry:
+        from repro.bench.telemetry import telemetry_report
+
+        sys.stdout.write(telemetry_report(
+            trace_path=args.telemetry_trace, quick=args.quick))
+        if (not args.experiments and not args.chaos and not args.trace
+                and not args.breakdown and not args.shards
+                and not args.shard_scaling and not args.nic_collectives
+                and not args.ckpt_profile):
+            return 0
 
     if args.trace or args.breakdown:
         from repro.bench import observability as obs_bench

@@ -86,8 +86,57 @@ def export_trace(path: str, quick: bool = False) -> str:
     )
 
 
+def tier_breakdown(quick: bool = False) -> str:
+    """Host-CPU overhead per collective, tier by tier.
+
+    Runs the collective suite (barrier + bcast + combine) on the
+    paper's 2x2x2 mesh once per tier with the recorder on, and totals
+    the ``api-call`` / ``irq-wait`` spans — the host-side cost the
+    NIC-resident tier exists to remove.  Rendered next to the fig2
+    breakdown so the ~6 us host-API-overhead table and the PR 8
+    crossover claim read from one output.
+    """
+    from repro.bench.nic_collectives import (
+        COLLECTIVES,
+        REPEATS,
+        TIERS,
+        _measure,
+    )
+    from repro.obs.recorder import API_CALL, IRQ_WAIT
+
+    ops = REPEATS * len(COLLECTIVES)
+    lines = [
+        f"per-collective-tier host overhead (2x2x2 mesh, "
+        f"{'+'.join(COLLECTIVES)} x{REPEATS}):",
+        f"{'tier':<8} {'api-call n':>10} {'api us':>10} "
+        f"{'irq-wait n':>10} {'irq us':>10} {'host us/op':>11}",
+    ]
+    per_tier = {}
+    for tier in TIERS:
+        _latency, cluster = _measure((2, 2, 2), tier, observe=True)
+        recorder = cluster.sim.recorder
+        api = [s for s in recorder.spans if s.kind == API_CALL]
+        irq = [s for s in recorder.spans if s.kind == IRQ_WAIT]
+        api_us = sum(s.duration for s in api)
+        irq_us = sum(s.duration for s in irq)
+        per_op = (api_us + irq_us) / ops
+        per_tier[tier] = per_op
+        lines.append(
+            f"{tier:<8} {len(api):>10} {api_us:>10.3f} "
+            f"{len(irq):>10} {irq_us:>10.3f} {per_op:>11.3f}"
+        )
+    if per_tier.get("host"):
+        reduction = (1.0 - per_tier["nic"] / per_tier["host"]) * 100.0
+        lines.append(
+            f"nic tier cuts host time per op by {reduction:.1f}% vs "
+            f"the host tier (PR 8 crossover claim: >90%)"
+        )
+    return "\n".join(lines) + "\n"
+
+
 def breakdown_report(quick: bool = False) -> str:
-    """Run the fig2 point workload and render the breakdown table."""
+    """Run the fig2 point workload and render the breakdown table,
+    then the per-collective-tier host-overhead rows."""
     from repro.bench.microbench import via_latency
     from repro.sim import Simulator
 
@@ -99,6 +148,7 @@ def breakdown_report(quick: bool = False) -> str:
         "per-message latency breakdown "
         f"(fig2 point: 4-byte VIA ping-pong, one-way {latency:.2f} us)\n"
         + breakdown_table(recorder)
+        + "\n" + tier_breakdown(quick=quick)
     )
 
 

@@ -1,0 +1,160 @@
+"""Perf-regression sentinel over ``BENCH_PERF.json``.
+
+Compares a freshly generated profile against a baseline (typically
+the committed ``BENCH_PERF.json``), section by section: every numeric
+leaf present in *both* files contributes the ratio ``fresh / base``,
+and a section regresses when the **geometric mean** of its ratios
+exceeds ``1 + tolerance``.  The geomean is the right aggregate here —
+per-leaf wall-clock numbers are noisy (CI machines vary run to run),
+but a systematic slowdown moves every leaf in the same direction and
+survives the averaging, while one noisy outlier is damped by the
+rest of its section.
+
+Only *time-like* leaves participate by default: keys containing
+``wall``, ``seconds``, ``_s`` or ``overhead`` (event counts and table
+digests are determinism facts, not perf facts — they have their own
+harnesses).  Exit status: 0 when no section regresses, 1 otherwise —
+the CI wiring that finally makes the perf trajectory a gate instead
+of an artifact.
+
+CLI::
+
+    python -m repro.bench.regression BASELINE.json [FRESH.json]
+        [--tolerance 0.2] [--all-leaves]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from typing import Dict, Iterator, List, Tuple
+
+#: Substrings that mark a leaf as wall-clock-like (perf-relevant).
+_TIME_MARKERS = ("wall", "seconds", "overhead", "latency")
+
+
+def _is_time_key(key: str) -> bool:
+    lowered = key.lower()
+    return (any(marker in lowered for marker in _TIME_MARKERS)
+            or lowered.endswith("_s") or lowered.endswith("_us")
+            or lowered.endswith("_ms"))
+
+
+def _numeric_leaves(node, prefix: str = "") -> Iterator[Tuple[str, float]]:
+    """Flatten nested dicts/lists to ``(dotted.path, value)`` leaves."""
+    if isinstance(node, bool):
+        return
+    if isinstance(node, (int, float)):
+        yield prefix, float(node)
+        return
+    if isinstance(node, dict):
+        for key in sorted(node):
+            path = f"{prefix}.{key}" if prefix else str(key)
+            yield from _numeric_leaves(node[key], path)
+    elif isinstance(node, list):
+        for index, item in enumerate(node):
+            yield from _numeric_leaves(item, f"{prefix}[{index}]")
+
+
+def section_ratios(baseline: dict, fresh: dict,
+                   time_only: bool = True) -> Dict[str, List[Tuple[str, float]]]:
+    """Per-section ``(leaf, fresh/base)`` ratios over shared leaves.
+
+    Leaves missing from either side, non-positive on either side, or
+    (with ``time_only``) not wall-clock-like are skipped — a ratio is
+    only meaningful for a strictly positive quantity both runs
+    measured.
+    """
+    sections: Dict[str, List[Tuple[str, float]]] = {}
+    shared = set(baseline) & set(fresh)
+    for section in sorted(shared):
+        base_leaves = dict(_numeric_leaves(baseline[section]))
+        fresh_leaves = dict(_numeric_leaves(fresh[section]))
+        ratios: List[Tuple[str, float]] = []
+        for path in sorted(set(base_leaves) & set(fresh_leaves)):
+            leaf_key = path.rsplit(".", 1)[-1]
+            if time_only and not _is_time_key(leaf_key):
+                continue
+            base_value = base_leaves[path]
+            fresh_value = fresh_leaves[path]
+            if base_value <= 0 or fresh_value <= 0:
+                continue
+            ratios.append((path, fresh_value / base_value))
+        if ratios:
+            sections[section] = ratios
+    return sections
+
+
+def geomean(values: List[float]) -> float:
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def compare(baseline: dict, fresh: dict, tolerance: float = 0.2,
+            time_only: bool = True) -> Tuple[List[str], bool]:
+    """Render the comparison; ``(report_lines, regressed)``."""
+    lines: List[str] = []
+    regressed = False
+    sections = section_ratios(baseline, fresh, time_only=time_only)
+    if not sections:
+        return (["no comparable sections (nothing shared between "
+                 "baseline and fresh profiles)"], False)
+    bound = 1.0 + tolerance
+    for section, ratios in sections.items():
+        section_geomean = geomean([ratio for _path, ratio in ratios])
+        verdict = "ok"
+        if section_geomean > bound:
+            verdict = "REGRESSED"
+            regressed = True
+        elif section_geomean < 1.0 / bound:
+            verdict = "improved"
+        lines.append(
+            f"{section:<18} geomean x{section_geomean:.3f} over "
+            f"{len(ratios)} leaves (tolerance x{bound:.2f}) {verdict}")
+        if verdict == "REGRESSED":
+            worst = sorted(ratios, key=lambda pair: -pair[1])[:5]
+            for path, ratio in worst:
+                lines.append(f"    {path}: x{ratio:.3f}")
+    return lines, regressed
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench-regression",
+        description="Compare a fresh BENCH_PERF.json against a "
+                    "baseline; exit 1 on a perf regression.",
+    )
+    parser.add_argument("baseline", help="baseline BENCH_PERF.json "
+                                         "(e.g. the committed one)")
+    parser.add_argument("fresh", nargs="?", default="BENCH_PERF.json",
+                        help="fresh profile (default BENCH_PERF.json)")
+    parser.add_argument("--tolerance", type=float, default=0.2,
+                        help="allowed geomean slowdown per section "
+                             "(0.2 = +20%%)")
+    parser.add_argument("--all-leaves", action="store_true",
+                        help="compare every shared numeric leaf, not "
+                             "just wall-clock-like ones")
+    args = parser.parse_args(argv)
+    if args.tolerance < 0:
+        parser.error("tolerance must be >= 0")
+    with open(args.baseline) as handle:
+        baseline = json.load(handle)
+    with open(args.fresh) as handle:
+        fresh = json.load(handle)
+    lines, regressed = compare(baseline, fresh,
+                               tolerance=args.tolerance,
+                               time_only=not args.all_leaves)
+    for line in lines:
+        sys.stdout.write(line + "\n")
+    sys.stdout.write(
+        "perf regression detected\n" if regressed
+        else "no perf regression\n")
+    return 1 if regressed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
+
+
+__all__ = ["compare", "geomean", "main", "section_ratios"]

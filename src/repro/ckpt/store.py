@@ -33,11 +33,12 @@ import os
 import pickle
 import re
 import tempfile
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import List, Optional, Tuple
 
-from repro import __version__
+from repro import __version__, telemetry
 from repro.canonical import stable_json
 from repro.errors import CheckpointError, CheckpointMismatchError
 
@@ -127,7 +128,16 @@ class CheckpointStore:
     def put_item(self, key: str, index: int, payload) -> str:
         directory = self._key_dir(key)
         path = directory / f"item-{index:06d}.json"
-        self._atomic_write(path, stable_json(payload).encode())
+        tel = telemetry.ACTIVE
+        write_start = time.perf_counter() if tel is not None else 0.0
+        data = stable_json(payload).encode()
+        self._atomic_write(path, data)
+        if tel is not None:
+            tel.registry.histogram("ckpt_write_seconds", kind="item",
+                                   ).observe(time.perf_counter()
+                                             - write_start)
+            tel.registry.counter("ckpt_bytes_total",
+                                 kind="item").inc(len(data))
         return checkpoint_id(key, "item", index)
 
     def get_item(self, key: str, index: int):
@@ -141,7 +151,16 @@ class CheckpointStore:
     def put_window(self, key: str, window: int, data: dict) -> str:
         directory = self._key_dir(key)
         path = directory / f"window-{window:06d}.pkl"
-        self._atomic_write(path, pickle.dumps(data, protocol=4))
+        tel = telemetry.ACTIVE
+        write_start = time.perf_counter() if tel is not None else 0.0
+        encoded = pickle.dumps(data, protocol=4)
+        self._atomic_write(path, encoded)
+        if tel is not None:
+            tel.registry.histogram("ckpt_write_seconds", kind="window",
+                                   ).observe(time.perf_counter()
+                                             - write_start)
+            tel.registry.counter("ckpt_bytes_total",
+                                 kind="window").inc(len(encoded))
         return checkpoint_id(key, "window", window)
 
     def windows(self, key: str) -> List[int]:
@@ -174,6 +193,8 @@ class CheckpointStore:
         indices = self.windows(key)
         if not indices:
             return None
+        tel = telemetry.ACTIVE
+        restore_start = time.perf_counter() if tel is not None else 0.0
         window = indices[-1]
         newest = self._read_window(key, window)
         chain = [newest]
@@ -200,6 +221,10 @@ class CheckpointStore:
         data["logs"] = logs or []
         data.pop("logs_tail", None)
         data.pop("base", None)
+        if tel is not None:
+            tel.registry.histogram("ckpt_restore_seconds").observe(
+                time.perf_counter() - restore_start)
+            tel.registry.counter("ckpt_restores_total").inc()
         return window, data
 
     def drop_windows_after(self, key: str, keep_up_to: int) -> int:

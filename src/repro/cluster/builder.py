@@ -389,6 +389,15 @@ class MeshCluster:
                     f"requests ({preview}"
                     + (", ..." if len(pending) > 4 else "") + ")"
                 )
+        # Wall-clock telemetry (top counters + event-log tail) makes
+        # the hang dump self-contained: what the *process* was doing,
+        # next to what the simulation was doing.  Omitted when the
+        # plane is off.
+        from repro import telemetry
+
+        summary = telemetry.hang_summary(top=10, tail=20)
+        if summary is not None:
+            lines.append(summary)
         return "\n".join(lines)
 
     # -- protocol stacks ---------------------------------------------------

@@ -53,8 +53,9 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro import __version__, fastpath
+from repro import __version__, fastpath, telemetry
 from repro.canonical import content_hash
+from repro.telemetry.registry import geometric_bounds
 from repro.ckpt import context as ckpt_context
 from repro.ckpt.store import CheckpointStore
 from repro.errors import ShardCrashed, SimulationError
@@ -68,6 +69,11 @@ from repro.topology.partition import make_shard_plan, shard_lookahead
 from repro.topology.torus import Torus
 
 _INF = float("inf")
+
+#: Telemetry bucket ladders for quantities that are not seconds:
+#: window advance in simulated microseconds, merged frames per window.
+_US_BOUNDS = geometric_bounds(0.01, 1e6, 3)
+_COUNT_BOUNDS = geometric_bounds(1.0, 1e5, 3)
 
 
 @dataclass
@@ -418,6 +424,11 @@ class _ShardSet:
         if self.policy is None:
             raise death
         self.recoveries += 1
+        tel = telemetry.ACTIVE
+        if tel is not None:
+            tel.registry.counter("pdes_recoveries_total").inc()
+            tel.events.warn("pdes.recovery", str(death),
+                            run=tel.run_id, shard=index)
         try:
             self.shards[index].close()
         except Exception:  # noqa: BLE001 - dead handle cleanup
@@ -437,6 +448,9 @@ class _ShardSet:
                 notifies: list) -> None:
         if self.policy is None:
             return
+        tel = telemetry.ACTIVE
+        capture_start = tel.now() if tel is not None else 0.0
+        digest_start = time.perf_counter()
         if self.policy.verify:
             self.digests = [
                 (len(self.logs[i]), self.digest(i))
@@ -445,6 +459,9 @@ class _ShardSet:
         else:
             self.digests = [(len(self.logs[i]), None)
                             for i in range(len(self.shards))]
+        if tel is not None:
+            tel.registry.histogram("ckpt_digest_seconds").observe(
+                time.perf_counter() - digest_start)
         store = self.policy.store
         if store is not None:
             # Incremental: persist only the log tail since the last
@@ -467,6 +484,12 @@ class _ShardSet:
             self._captured_window = window
             ckpt_context.note(self.key, "window", window)
             self.checkpoints_written += 1
+            if tel is not None:
+                tel.registry.counter("ckpt_captures_total").inc()
+                tel.registry.histogram("ckpt_capture_seconds").observe(
+                    tel.now() - capture_start)
+                tel.wall_span("ckpt-capture", f"window-{window}",
+                              "ckpt", capture_start, tel.now())
 
     def maybe_chaos_kill(self, window: int) -> None:
         if (self.policy is None or self.policy.chaos_kill is None
@@ -545,7 +568,15 @@ def run_sharded(dims: Sequence[int], wrap: bool = True,
             pending = []   # committed egress awaiting injection
             notifies = []
         windows = 0        # windows executed *this* run (post-resume)
+        # Telemetry is hoisted once: the window loop pays one local
+        # ``is not None`` test per window when the plane is disabled.
+        tel = telemetry.ACTIVE
+        if tel is not None:
+            tel.registry.gauge("pdes_lookahead_us").set(
+                0.0 if lookahead == _INF else lookahead)
+            tel.registry.gauge("pdes_shards").set(nshards)
         while True:
+            window_wall_start = tel.now() if tel is not None else 0.0
             base = min(peeks)
             for entry in pending:
                 if entry[0] < base:
@@ -608,11 +639,46 @@ def run_sharded(dims: Sequence[int], wrap: bool = True,
                 notifies.extend(notifies_out)
                 peeks[index] = peek
             windows += 1
+            if tel is not None:
+                wall_now = tel.now()
+                tel.registry.counter("pdes_windows_total").inc()
+                tel.registry.histogram("pdes_window_seconds").observe(
+                    wall_now - window_wall_start)
+                tel.registry.histogram(
+                    "pdes_merge_frames",
+                    bounds=_COUNT_BOUNDS).observe(float(len(ship)))
+                next_base = min(peeks)
+                for entry in pending:
+                    if entry[0] < next_base:
+                        next_base = entry[0]
+                if base != _INF and next_base != _INF:
+                    advance = max(next_base - base, 0.0)
+                    tel.registry.histogram(
+                        "pdes_window_advance_us",
+                        bounds=_US_BOUNDS).observe(advance)
+                    if lookahead not in (0.0, _INF):
+                        # Fraction of the conservative bound the window
+                        # actually consumed (1.0 = perfect lookahead).
+                        tel.registry.gauge(
+                            "pdes_lookahead_utilization").set(
+                            min(advance / lookahead, 1.0))
+                tel.wall_span("pdes-window", f"w{windows}", "pdes",
+                              window_wall_start, wall_now)
             if (checkpoint is not None and checkpoint.every
                     and windows % checkpoint.every == 0):
                 shardset.capture((resumed_from or 0) + windows,
                                  peeks, pending, notifies)
         payloads = shardset.finish_all()
+        if tel is not None:
+            run_wall = time.perf_counter() - start_wall
+            for shard_id, payload in enumerate(payloads):
+                shard_events = int(payload["events"])
+                tel.registry.gauge("pdes_shard_events",
+                                   shard=shard_id).set(shard_events)
+                if run_wall > 0:
+                    tel.registry.gauge(
+                        "pdes_shard_event_rate", shard=shard_id,
+                    ).set(shard_events / run_wall)
         per_rank: Dict[int, object] = {}
         reliability: Dict[str, int] = {}
         events = 0

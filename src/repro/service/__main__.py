@@ -6,6 +6,11 @@
   service-level chaos campaign twice and verifies determinism.
 * ``python -m repro.service --load-test 1000`` runs the concurrent
   client load test and writes ``BENCH_SERVICE.json``.
+* ``--telemetry`` enables the wall-clock telemetry plane for any of
+  the above (adds the ``metrics`` op to the server, and the counter
+  reconciliation section + summary to the load test);
+  ``--telemetry-trace unified.json`` additionally writes the unified
+  wall+sim Chrome/Perfetto trace.
 """
 
 from __future__ import annotations
@@ -67,7 +72,23 @@ def main(argv=None) -> int:
                         help="run the N-client load test and exit")
     parser.add_argument("--bench-out", default="BENCH_SERVICE.json",
                         help="load-test report path")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="enable the wall-clock telemetry plane "
+                             "(metrics registry + event log; adds the "
+                             "'metrics' op and the load-test "
+                             "reconciliation section)")
+    parser.add_argument("--telemetry-trace", default=None, metavar="PATH",
+                        help="with --telemetry: write the unified "
+                             "wall+sim Chrome/Perfetto trace to PATH "
+                             "on exit")
     args = parser.parse_args(argv)
+
+    if args.telemetry_trace and not args.telemetry:
+        parser.error("--telemetry-trace requires --telemetry")
+    if args.telemetry:
+        from repro import telemetry
+
+        telemetry.enable()
 
     if args.chaos:
         from repro.service.chaos import chaos_campaign, render_report
@@ -86,9 +107,42 @@ def main(argv=None) -> int:
         loadtest.write_report(args.bench_out, report)
         sys.stdout.write(loadtest.render_report(report))
         sys.stdout.write(f"[report written to {args.bench_out}]\n")
+        if args.telemetry:
+            _telemetry_epilogue(args.telemetry_trace)
         return 0
 
     return asyncio.run(_serve(args))
+
+
+def _telemetry_epilogue(trace_path) -> None:
+    """Print the live counter totals; optionally write the unified
+    wall+sim trace (the sim domain comes from a small in-process
+    traced collective — worker-process sim recorders stay worker-side)."""
+    from repro import telemetry
+    from repro.telemetry.registry import top_counters
+
+    tel = telemetry.ACTIVE
+    sys.stdout.write("[telemetry counters]\n")
+    for name, value in top_counters(tel.merged_snapshot(), limit=12):
+        sys.stdout.write(f"  {name} = {value}\n")
+    if trace_path:
+        from repro.bench.observability import traced_collective
+        from repro.telemetry.export import (
+            validate_unified_trace,
+            write_unified_trace,
+        )
+
+        sim_recorder = traced_collective(nbytes=1024)
+        trace = write_unified_trace(tel, trace_path,
+                                    [("collective", sim_recorder)])
+        problems = validate_unified_trace(trace)
+        if problems:
+            raise RuntimeError("unified trace failed validation: "
+                               + "; ".join(problems[:5]))
+        sys.stdout.write(
+            f"[unified trace: {trace_path} — "
+            f"{len(trace['traceEvents'])} events, clock domains "
+            f"wall+sim; open at https://ui.perfetto.dev]\n")
 
 
 if __name__ == "__main__":

@@ -35,6 +35,7 @@ import tempfile
 import time
 from typing import Any, Callable, Dict, List, Optional
 
+from repro import telemetry
 from repro.service.protocol import (
     DeadlineExceeded,
     JobFailed,
@@ -143,9 +144,13 @@ class Fleet:
 
     def _spawn_worker(self) -> WorkerHandle:
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        # Workers inherit the plane's on/off state (spawn start method:
+        # the child enables its own registry and ships cumulative
+        # snapshots back in result meta).
         process = self._ctx.Process(
             target=worker_main,
-            args=(child_conn, self.heartbeat_interval, self.ckpt_dir),
+            args=(child_conn, self.heartbeat_interval, self.ckpt_dir,
+                  telemetry.enabled()),
             daemon=True,
             name=f"repro-service-worker-{next(_WORKER_IDS)}",
         )
@@ -221,6 +226,10 @@ class Fleet:
         handle.job = (job_id, spec, future)
         handle.last_heartbeat = time.monotonic()
         self.dispatches += 1
+        tel = telemetry.ACTIVE
+        dispatch_start = tel.now() if tel is not None else 0.0
+        if tel is not None:
+            tel.registry.counter("fleet_dispatch_total").inc()
         try:
             handle.conn.send(("job", job_id, spec.to_wire()))
         except (OSError, ValueError):
@@ -234,15 +243,25 @@ class Fleet:
         if self.on_dispatch is not None:
             self.on_dispatch(self, handle, spec)
         try:
-            return await asyncio.wait_for(
+            payload = await asyncio.wait_for(
                 asyncio.shield(future), timeout)
         except asyncio.TimeoutError:
             self.counters["deadline_kills"] += 1
+            if tel is not None:
+                tel.registry.counter("fleet_deadline_kills_total").inc()
+                tel.events.warn(
+                    "fleet.deadline_kill",
+                    f"{spec.label()} blew its {timeout:.1f}s deadline",
+                    run=tel.run_id, worker=handle.index, job_id=job_id)
             self._signal(handle, signal.SIGKILL)
             raise DeadlineExceeded(
                 f"{spec.label()} exceeded its {timeout:.1f}s attempt "
                 f"deadline on worker #{handle.index} (killed)"
             ) from None
+        if tel is not None:
+            tel.wall_span("dispatch", spec.label(), "fleet",
+                          dispatch_start, tel.now())
+        return payload
 
     async def _acquire_idle(self) -> WorkerHandle:
         while True:
@@ -288,8 +307,12 @@ class Fleet:
             handle.state = "idle"
             handle.last_heartbeat = time.monotonic()
             self._idle.put_nowait(handle)
+            tel = telemetry.ACTIVE
             if op == "result":
                 self.counters["jobs_ok"] += 1
+                if tel is not None:
+                    tel.registry.counter("fleet_jobs_total",
+                                         outcome="ok").inc()
                 if len(message) > 3:
                     # Fold the worker simulator's event count into this
                     # process's global tally; without this, fleet runs
@@ -308,10 +331,20 @@ class Fleet:
                         meta.get("ckpt_computed", 0))
                     if loaded or meta.get("ckpt_resumed_from") is not None:
                         self.counters["ckpt_resumes"] += 1
+                    # The worker's cumulative registry snapshot rides
+                    # out-of-band in meta; keep the newest per worker
+                    # (indices are unique — workers are never reused).
+                    worker_snapshot = meta.get("telemetry")
+                    if tel is not None and worker_snapshot is not None:
+                        tel.absorb_worker(f"w{handle.index}",
+                                          worker_snapshot)
                 if not future.done():
                     future.set_result(message[2])
             else:
                 self.counters["jobs_failed"] += 1
+                if tel is not None:
+                    tel.registry.counter("fleet_jobs_total",
+                                         outcome="failed").inc()
                 if not future.done():
                     future.set_exception(JobFailed(message[2], message[3]))
 
@@ -319,11 +352,21 @@ class Fleet:
         """Crash path: fail the in-flight job, replace the worker."""
         if handle.state == "dead":
             return
+        tel = telemetry.ACTIVE
         if self._running:
             self.counters["crashes"] += 1
+            if tel is not None:
+                tel.registry.counter("fleet_crashes_total").inc()
+                tel.events.warn(
+                    "fleet.crash",
+                    f"worker #{handle.index} (pid {handle.pid}) died",
+                    run=tel.run_id, worker=handle.index,
+                    state=handle.state)
         self._retire(handle, fail_job=True)
         if self._running:
             self.counters["restarts"] += 1
+            if tel is not None:
+                tel.registry.counter("fleet_respawns_total").inc()
             self._spawn_worker()
 
     def _retire(self, handle: WorkerHandle, fail_job: bool) -> None:
@@ -331,6 +374,10 @@ class Fleet:
             return
         was = handle.state
         handle.state = "dead"
+        tel = telemetry.ACTIVE
+        if tel is not None:
+            tel.registry.histogram("fleet_worker_lifetime_seconds").observe(
+                time.monotonic() - handle.started_at)
         try:
             self._loop.remove_reader(handle.conn.fileno())
         except (OSError, ValueError):
@@ -361,6 +408,15 @@ class Fleet:
                     continue
                 if now - handle.last_heartbeat > self.hang_timeout:
                     self.counters["hangs"] += 1
+                    tel = telemetry.ACTIVE
+                    if tel is not None:
+                        tel.registry.counter(
+                            "fleet_hang_kills_total").inc()
+                        tel.events.error(
+                            "fleet.hang",
+                            f"worker #{handle.index} silent for "
+                            f"{now - handle.last_heartbeat:.1f}s, killing",
+                            run=tel.run_id, worker=handle.index)
                     # SIGKILL works on stopped processes too; death
                     # arrives through the pipe-EOF crash path.
                     self._signal(handle, signal.SIGKILL)

@@ -32,6 +32,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Dict, Mapping, Optional
 
+from repro import telemetry
 from repro.obs import FlightRecorder
 from repro.service.cache import ResultCache
 from repro.service.fleet import Fleet, FleetStopped
@@ -91,6 +92,11 @@ class Router:
         self._drained = asyncio.Event()
         self._drained.set()
         self._t0 = time.monotonic()
+        tel = telemetry.ACTIVE
+        if tel is not None:
+            # The wall-clock request recorder joins the unified trace
+            # export under the "wall:router/..." tracks.
+            tel.register_wall_recorder("router", self.recorder)
 
     # -- observability helpers ---------------------------------------------
     def _now(self) -> float:
@@ -101,18 +107,30 @@ class Router:
         self.recorder.metrics.observe("queue_depth", t, self._pending)
         self.recorder.metrics.observe("busy_workers", t,
                                       len(self.fleet.busy_workers()))
+        tel = telemetry.ACTIVE
+        if tel is not None:
+            tel.registry.gauge("service_queue_depth").set(self._pending)
+            tel.registry.gauge("service_busy_workers").set(
+                len(self.fleet.busy_workers()))
 
     # -- the submit path ----------------------------------------------------
     async def submit(self, request: Mapping[str, Any]) -> Dict[str, Any]:
         """Handle one submit request end to end; always returns a
         response dict, never raises, never hangs."""
         self.counters["requests"] += 1
+        tel = telemetry.ACTIVE
+        if tel is not None:
+            tel.registry.counter("service_requests_total").inc()
         rid = request.get("id")
         started = time.monotonic()
         try:
             spec = JobSpec.from_wire(request.get("job"))
         except ProtocolError as exc:
             self.counters["bad_requests"] += 1
+            if tel is not None:
+                tel.registry.counter("service_bad_requests_total").inc()
+                tel.events.warn("service.bad_request", str(exc),
+                                run=tel.run_id)
             return error_response(rid, "ProtocolError", str(exc),
                                   retriable=False)
         key = spec.cache_key()
@@ -122,6 +140,9 @@ class Router:
         cached = self.cache.get(key)
         if cached is not None:
             self.counters["cache_hits"] += 1
+            if tel is not None:
+                tel.registry.counter("service_cache_total",
+                                     result="hit").inc()
             self.recorder.event(trace, "cache-hit", spec.label(),
                                 "service", self._now())
             return ok_response(rid, key, cached, "hit", attempts=0,
@@ -130,6 +151,8 @@ class Router:
         leader = self._inflight.get(key)
         if leader is not None:
             self.counters["coalesced"] += 1
+            if tel is not None:
+                tel.registry.counter("service_coalesced_total").inc()
             self.recorder.event(trace, "coalesced", spec.label(),
                                 "service", self._now())
             response = dict(await leader)
@@ -141,11 +164,17 @@ class Router:
 
         if self._draining:
             self.counters["drained_rejects"] += 1
+            if tel is not None:
+                tel.registry.counter("service_drained_rejects_total").inc()
             return error_response(rid, "ShuttingDown",
                                   "service is draining; resubmit later",
                                   retriable=True)
         if self._pending >= self.config.max_pending:
             self.counters["shed"] += 1
+            if tel is not None:
+                tel.registry.counter("service_shed_total").inc()
+                tel.events.warn("service.shed", spec.label(),
+                                run=tel.run_id, pending=self._pending)
             self.recorder.event(trace, "shed", spec.label(), "service",
                                 self._now())
             return overloaded_response(rid, self.config.retry_after_s)
@@ -154,6 +183,10 @@ class Router:
         # response, and the single-flight future MUST resolve so
         # coalesced waiters can never hang.
         self.counters["accepted"] += 1
+        if tel is not None:
+            tel.registry.counter("service_accepted_total").inc()
+            tel.registry.counter("service_cache_total",
+                                 result="miss").inc()
         self._pending += 1
         self._drained.clear()
         self._observe_load()
@@ -187,6 +220,7 @@ class Router:
                 and requested_deadline > 0:
             deadline = min(float(requested_deadline), deadline)
         last_error: Optional[Exception] = None
+        tel = telemetry.ACTIVE
         for attempt in range(1, self.config.max_attempts + 1):
             attempt_start = self._now()
             try:
@@ -197,6 +231,15 @@ class Router:
                 self.counters["job_failures"] += 1
                 self.recorder.span(trace, "attempt-failed", spec.label(),
                                    "service", attempt_start, self._now())
+                if tel is not None:
+                    tel.registry.histogram(
+                        "service_attempt_seconds", outcome="failed",
+                    ).observe(self._now() - attempt_start)
+                    tel.registry.counter("service_job_failures_total").inc()
+                    tel.events.error("service.job_failure", exc.detail,
+                                     run=tel.run_id, job=spec.label(),
+                                     error_type=exc.error_type,
+                                     attempt=attempt)
                 return error_response(rid, exc.error_type, exc.detail,
                                       retriable=False, attempts=attempt,
                                       key=key)
@@ -204,10 +247,20 @@ class Router:
                 last_error = exc
                 self.recorder.span(trace, "attempt-lost", spec.label(),
                                    "service", attempt_start, self._now())
+                if tel is not None:
+                    tel.registry.histogram(
+                        "service_attempt_seconds", outcome="lost",
+                    ).observe(self._now() - attempt_start)
+                    tel.events.warn("service.attempt_lost", str(exc),
+                                    run=tel.run_id, job=spec.label(),
+                                    error_type=type(exc).__name__,
+                                    attempt=attempt)
                 if attempt >= self.config.max_attempts or isinstance(
                         exc, FleetStopped):
                     break
                 self.counters["retries"] += 1
+                if tel is not None:
+                    tel.registry.counter("service_retries_total").inc()
                 backoff = (self.config.backoff_base_s *
                            self.config.backoff_factor ** (attempt - 1))
                 self.recorder.event(trace, "retry", spec.label(),
@@ -218,10 +271,21 @@ class Router:
                 self.counters["completed"] += 1
                 self.recorder.span(trace, "attempt-ok", spec.label(),
                                    "service", attempt_start, self._now())
+                if tel is not None:
+                    tel.registry.histogram(
+                        "service_attempt_seconds", outcome="ok",
+                    ).observe(self._now() - attempt_start)
+                    tel.registry.counter("service_completed_total").inc()
                 return ok_response(rid, key, payload, "miss",
                                    attempts=attempt,
                                    elapsed_s=time.monotonic() - started)
         self.counters["retriable_errors"] += 1
+        if tel is not None:
+            tel.registry.counter("service_retriable_errors_total").inc()
+            tel.events.error(
+                "service.retry_exhausted",
+                f"{spec.label()}: {last_error}", run=tel.run_id,
+                job=spec.label(), attempts=self.config.max_attempts)
         return error_response(
             rid, type(last_error).__name__,
             f"{spec.label()}: retry budget exhausted after "

@@ -3,7 +3,9 @@
 One connection may pipeline any number of requests; responses carry
 the request ``id`` and may arrive out of order (submits run
 concurrently).  Ops: ``submit`` (the workhorse), ``ping``, ``status``
-(fleet/cache/router snapshot), ``shutdown`` (graceful drain: stop
+(fleet/cache/router snapshot), ``metrics`` (live telemetry snapshot —
+merged registry JSON + Prometheus text + event-log tail, served
+without touching the fleet), ``shutdown`` (graceful drain: stop
 accepting, finish in-flight work, stop the fleet).
 
 :class:`ServiceClient` is the matching line-protocol client;
@@ -17,7 +19,30 @@ import asyncio
 import json
 from typing import Any, Dict, Optional, Tuple
 
+from repro import telemetry
 from repro.service.router import Router
+from repro.telemetry.registry import to_prometheus
+
+
+def metrics_response(request_id: Any = None,
+                     events_tail: int = 50) -> Dict[str, Any]:
+    """Live telemetry snapshot as a wire response (no fleet round
+    trip: the merged view is this process's registry folded with the
+    newest snapshot each worker has already shipped in result meta)."""
+    tel = telemetry.ACTIVE
+    if tel is None:
+        return {"id": request_id, "status": "ok", "enabled": False}
+    snapshot = tel.merged_snapshot()
+    return {
+        "id": request_id,
+        "status": "ok",
+        "enabled": True,
+        "run": tel.run_id,
+        "uptime_s": round(tel.now(), 3),
+        "snapshot": snapshot,
+        "prometheus": to_prometheus(snapshot),
+        "events": tel.events.tail(events_tail),
+    }
 
 
 class ServiceServer:
@@ -83,7 +108,10 @@ class ServiceServer:
                 elif op == "status":
                     status = self.router.status()
                     status["id"] = request.get("id")
+                    status["telemetry"] = telemetry.enabled()
                     await respond(status)
+                elif op == "metrics":
+                    await respond(metrics_response(request.get("id")))
                 elif op == "shutdown":
                     await respond({"id": request.get("id"),
                                    "status": "ok", "draining": True})
@@ -173,4 +201,4 @@ class ServiceClient:
                 pass
 
 
-__all__ = ["ServiceClient", "ServiceServer"]
+__all__ = ["ServiceClient", "ServiceServer", "metrics_response"]

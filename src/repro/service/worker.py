@@ -34,17 +34,26 @@ from typing import Any
 
 
 def worker_main(conn: Any, heartbeat_interval: float = 0.1,
-                ckpt_dir: Any = None) -> None:
+                ckpt_dir: Any = None, telemetry_on: bool = False) -> None:
     """Run the worker loop over ``conn`` until ``stop`` or pipe EOF.
 
     ``ckpt_dir`` (from the fleet) becomes this process's default
     checkpoint store root, so every job that checkpoints writes where
-    a replacement worker will look after a crash.
+    a replacement worker will look after a crash.  When
+    ``telemetry_on`` the worker enables its own telemetry plane and
+    ships a *cumulative* registry snapshot with every result (in
+    ``meta``, never the payload — cache bit-identity); the parent
+    keeps the newest snapshot per worker and merges on read.
     """
     if ckpt_dir:
         from repro.ckpt import set_default_root
 
         set_default_root(ckpt_dir)
+    worker_tel = None
+    if telemetry_on:
+        from repro import telemetry
+
+        worker_tel = telemetry.enable()
     send_lock = threading.Lock()
     stopping = threading.Event()
 
@@ -87,6 +96,10 @@ def worker_main(conn: Any, heartbeat_interval: float = 0.1,
                 payload = jobs.execute(JobSpec.from_wire(wire))
                 meta = {"events": sim_core.TOTAL_EVENTS - before}
                 meta.update(jobs.LAST_RUN_META)
+                if worker_tel is not None:
+                    worker_tel.registry.counter(
+                        "worker_jobs_total").inc()
+                    meta["telemetry"] = worker_tel.registry.snapshot()
                 reply = ("result", job_id, payload, meta)
             except Exception as exc:  # deterministic job failure
                 reply = ("error", job_id, type(exc).__name__, str(exc))

@@ -1,0 +1,192 @@
+"""Unified wall-clock + sim-time trace export.
+
+Merges two clock domains into one Chrome trace-event file that
+Perfetto loads directly:
+
+* **wall** — spans recorded against wall-clock seconds: the telemetry
+  plane's own wall spans (fleet dispatches, PDES windows, checkpoint
+  captures) plus any wall-clock FlightRecorders registered with the
+  plane (the router's per-attempt "service" recorder).  Tracks are
+  prefixed ``wall:``; seconds are scaled to microseconds for the
+  ``ts``/``dur`` fields.
+* **sim** — ordinary sim-time FlightRecorders (microsecond
+  timestamps, PR 5).  Tracks are prefixed ``sim:``.
+
+The two domains share nothing except the file: track names are
+namespaced by their prefix and *process ids are allocated by a single
+enumeration over all tracks*, so no pid collides across domains.
+Every non-metadata event carries ``args.clock`` (``"wall"`` or
+``"sim"``) so a consumer can separate them again.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Tuple
+
+from repro.obs.export import validate_chrome_trace
+from repro.obs.recorder import MESSAGE, FlightRecorder
+from repro.telemetry import Telemetry
+
+#: Wall seconds -> trace-event microseconds.
+_WALL_SCALE = 1e6
+
+WALL_PREFIX = "wall:"
+SIM_PREFIX = "sim:"
+
+
+def _recorder_items(recorder: FlightRecorder):
+    """Yield ``(lane, phase, name, cat, trace, start, end)`` for every
+    root, span and instant of a recorder."""
+    for info in sorted(recorder.traces.values(), key=lambda i: i.trace):
+        yield ("messages", "X", info.name, MESSAGE, info.trace,
+               info.start, info.end, info.track)
+    for span in recorder.spans:
+        yield (span.kind, "X", f"{span.kind}:{span.name}", span.kind,
+               span.trace, span.start, span.end, span.track)
+    for span in recorder.events:
+        yield ("events", "i", f"{span.kind}:{span.name}", span.kind,
+               span.trace, span.start, span.start, span.track)
+
+
+def unified_trace(tel: Telemetry,
+                  sim_recorders: Iterable[Tuple[str, FlightRecorder]] = (),
+                  ) -> Dict[str, Any]:
+    """Build the two-clock-domain Chrome trace object.
+
+    ``sim_recorders`` is ``(label, FlightRecorder)`` pairs; each
+    recorder's tracks are exported under ``sim:<label>/<track>``.
+    """
+    # (prefixed_track, lane, phase, name, cat, trace, start_us, end_us,
+    #  clock)
+    items: List[tuple] = []
+
+    for span in tel.wall_spans:
+        items.append((WALL_PREFIX + span.track, span.kind, "X",
+                      f"{span.kind}:{span.name}", span.kind, span.trace,
+                      span.start * _WALL_SCALE, span.end * _WALL_SCALE,
+                      "wall"))
+    for label, recorder in sorted(tel.wall_recorders.items()):
+        for (lane, phase, name, cat, trace,
+             start, end, track) in _recorder_items(recorder):
+            items.append((f"{WALL_PREFIX}{label}/{track}", lane, phase,
+                          name, cat, trace, start * _WALL_SCALE,
+                          end * _WALL_SCALE, "wall"))
+    for label, recorder in sim_recorders:
+        for (lane, phase, name, cat, trace,
+             start, end, track) in _recorder_items(recorder):
+            items.append((f"{SIM_PREFIX}{label}/{track}", lane, phase,
+                          name, cat, trace, start, end, "sim"))
+
+    tracks = sorted({item[0] for item in items})
+    pid_of = {track: index + 1 for index, track in enumerate(tracks)}
+
+    lanes: Dict[tuple, int] = {}
+    lane_count: Dict[str, int] = {}
+
+    def tid_of(track: str, lane: str) -> int:
+        tid = lanes.get((track, lane))
+        if tid is None:
+            tid = lane_count.get(track, 0)
+            lane_count[track] = tid + 1
+            lanes[(track, lane)] = tid
+        return tid
+
+    events: List[Dict[str, Any]] = []
+    for (track, lane, phase, name, cat, trace,
+         start, end, clock) in items:
+        event: Dict[str, Any] = {
+            "name": name, "cat": cat, "ph": phase, "ts": start,
+            "pid": pid_of[track], "tid": tid_of(track, lane),
+            "args": {"trace": trace, "clock": clock},
+        }
+        if phase == "X":
+            event["dur"] = max(end - start, 0.0)
+        else:
+            event["s"] = "t"
+        events.append(event)
+
+    meta: List[Dict[str, Any]] = []
+    for track in tracks:
+        meta.append({"name": "process_name", "ph": "M",
+                     "pid": pid_of[track], "tid": 0,
+                     "args": {"name": track}})
+    for (track, lane), tid in sorted(
+            lanes.items(), key=lambda kv: (pid_of[kv[0][0]], kv[1])):
+        meta.append({"name": "thread_name", "ph": "M",
+                     "pid": pid_of[track], "tid": tid,
+                     "args": {"name": lane}})
+    return {"traceEvents": meta + events, "displayTimeUnit": "ms",
+            "otherData": {"run": tel.run_id, "clockDomains":
+                          ["wall", "sim"]}}
+
+
+def write_unified_trace(tel: Telemetry, path: str,
+                        sim_recorders: Iterable[
+                            Tuple[str, FlightRecorder]] = (),
+                        ) -> Dict[str, Any]:
+    """Write the unified trace JSON to ``path``; returns the object."""
+    trace = unified_trace(tel, sim_recorders)
+    with open(path, "w") as handle:
+        json.dump(trace, handle, indent=1)
+        handle.write("\n")
+    return trace
+
+
+def validate_unified_trace(trace: Dict[str, Any]) -> List[str]:
+    """Schema-check a unified trace: the base trace-event checks plus
+    the two-domain invariants (both clock domains present, every track
+    namespaced, no pid shared between tracks).  Returns problems; an
+    empty list means valid."""
+    problems = validate_chrome_trace(trace)
+    if problems:
+        return problems
+    events = trace["traceEvents"]
+    track_of_pid: Dict[int, str] = {}
+    for event in events:
+        if event.get("ph") != "M" or event.get("name") != "process_name":
+            continue
+        pid = event["pid"]
+        name = event["args"]["name"]
+        if pid in track_of_pid and track_of_pid[pid] != name:
+            problems.append(
+                f"pid {pid} names two tracks: "
+                f"{track_of_pid[pid]!r} and {name!r}")
+        track_of_pid[pid] = name
+    clocks = set()
+    for event in events:
+        if event.get("ph") == "M":
+            continue
+        clock = event.get("args", {}).get("clock")
+        if clock not in ("wall", "sim"):
+            problems.append(
+                f"event {event.get('name')!r} lacks a clock domain")
+            continue
+        clocks.add(clock)
+        track = track_of_pid.get(event["pid"])
+        if track is None:
+            problems.append(
+                f"event {event.get('name')!r} on unnamed pid "
+                f"{event['pid']}")
+            continue
+        expected = WALL_PREFIX if clock == "wall" else SIM_PREFIX
+        if not track.startswith(expected):
+            problems.append(
+                f"{clock} event {event.get('name')!r} on track "
+                f"{track!r} (expected prefix {expected!r})")
+    for clock in ("wall", "sim"):
+        if clock not in clocks:
+            problems.append(f"no events in the {clock!r} clock domain")
+    names = [track_of_pid[pid] for pid in track_of_pid]
+    if len(names) != len(set(names)):
+        problems.append("two pids share one track name")
+    return problems
+
+
+__all__ = [
+    "SIM_PREFIX",
+    "WALL_PREFIX",
+    "unified_trace",
+    "validate_unified_trace",
+    "write_unified_trace",
+]

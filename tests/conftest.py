@@ -27,6 +27,18 @@ def _clean_fault_state():
     faults.set_ambient(None)
 
 
+@pytest.fixture(autouse=True)
+def _clean_telemetry():
+    """The telemetry plane is a process global (``telemetry.ACTIVE``);
+    a test that enables it must not leave it on for later tests — the
+    instrumented code paths would silently start recording."""
+    from repro import telemetry
+
+    telemetry.disable()
+    yield
+    telemetry.disable()
+
+
 @pytest.fixture
 def sim():
     return Simulator()
